@@ -1,0 +1,48 @@
+// Quickstart: the smallest complete MilBack program — join one node,
+// localize it, and exchange a message in both directions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/milback"
+)
+
+func main() {
+	// A network is one access point in a cluttered indoor room.
+	net, err := milback.NewNetwork(milback.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A backscatter node 3 m away, slightly off to the side, rotated −10°.
+	node, err := net.Join(3, 0.5, -10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Localization: FMCW ranging + angle-of-arrival + orientation sensing,
+	// all from the node's switched reflection (the node spends 18 mW).
+	pos, err := node.Localize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node found at (%.2f, %.2f) m, %.1f° orientation\n",
+		pos.X, pos.Y, pos.OrientationDeg)
+
+	// Uplink: the node piggybacks its data on the AP's two-tone query.
+	up, err := node.Send([]byte("temperature=21.5C"), milback.Rate10Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uplink:   %q  (%d bit errors, SNR %.1f dB)\n", up.Data, up.BitErrors, up.SNRdB)
+
+	// Downlink: the AP keys its two tones on and off (OAQFM); the node
+	// decodes with nothing but envelope detectors.
+	down, err := node.Deliver([]byte("setpoint=22.0C"), milback.Rate36Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("downlink: %q  (%d bit errors, SINR %.1f dB)\n", down.Data, down.BitErrors, down.SNRdB)
+}

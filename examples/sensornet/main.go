@@ -1,0 +1,75 @@
+// Sensor network: a multi-node IoT telemetry deployment served by one AP
+// with spatial-division multiplexing (§7: "the AP can create multiple beams
+// towards different nodes and establish communication links with them
+// concurrently").
+//
+// Eight battery-free sensors are scattered around a room; the AP polls them
+// round-robin, localizes each one during the packet preamble (no extra
+// airtime — integrated sensing and communication), and gathers readings
+// uplink. The demo also shows the energy book-keeping: each poll costs the
+// node a few microjoules.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/milback"
+)
+
+type sensor struct {
+	name    string
+	x, y    float64
+	orient  float64
+	reading float64
+}
+
+func main() {
+	net, err := milback.NewNetwork(milback.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensors := []sensor{
+		{"door", 1.5, -0.8, 12, 20.1},
+		{"window", 2.0, 1.2, -18, 18.4},
+		{"desk", 3.0, -0.5, 5, 22.0},
+		{"shelf-a", 4.0, 1.8, -25, 21.3},
+		{"shelf-b", 4.5, -1.2, 15, 21.1},
+		{"corner", 5.5, 2.0, -8, 19.7},
+		{"ceiling", 6.0, 0.0, 0, 23.5},
+		{"far-wall", 7.5, 1.0, 10, 20.9},
+	}
+	nodes := make([]*milback.Node, len(sensors))
+	for i, s := range sensors {
+		n, err := net.Join(s.x, s.y, s.orient)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		nodes[i] = n
+	}
+
+	fmt.Println("sensor    |   reported      | located at        | range err | energy/poll")
+	var totalEnergy float64
+	for i, s := range sensors {
+		payload := []byte(fmt.Sprintf("%s:%.1fC", s.name, s.reading))
+		ex, err := nodes[i].Send(payload, milback.Rate10Mbps)
+		if err != nil {
+			log.Fatalf("%s: %v", s.name, err)
+		}
+		trueRange := math.Hypot(s.x, s.y)
+		fmt.Printf("%-9s | %-15s | (%5.2f, %5.2f) m  | %6.1f cm | %.2f µJ\n",
+			s.name, ex.Data, ex.Position.X, ex.Position.Y,
+			math.Abs(ex.Position.RangeM-trueRange)*100, ex.NodeEnergyJ*1e6)
+		totalEnergy += ex.NodeEnergyJ
+	}
+	fmt.Printf("\npolled %d sensors; total node-side energy %.1f µJ\n", len(sensors), totalEnergy*1e6)
+	perPoll := totalEnergy / float64(len(sensors))
+	fmt.Println("a CR2032 coin cell (~2430 J) would sustain ~",
+		int(2430/perPoll)/1_000_000, "million polls per sensor")
+	// At one poll per second plus 2 µW of deep sleep, that's on the order
+	// of a decade of unattended operation — the §1 "devices with limited
+	// energy sources" motivation made concrete.
+	avgPowerW := perPoll*1.0 + 2e-6
+	fmt.Printf("at 1 poll/s + 2 µW sleep: ~%.1f years per cell\n", 2430/avgPowerW/86400/365)
+}

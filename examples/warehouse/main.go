@@ -1,0 +1,75 @@
+// Warehouse asset tracking: a localization-heavy workload. Tagged assets
+// sit on racks at various ranges and orientations; the AP sweeps them,
+// producing centimeter-level position fixes and orientation estimates
+// (useful to detect mis-shelved or fallen items), then pushes an inventory
+// acknowledgement downlink to light the tag's indicator.
+//
+// This exercises the claim of §9.2/§9.3 at scale: ranging error grows
+// gently with distance, orientation is recovered within a few degrees at
+// both ends of the link.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/milback"
+)
+
+type asset struct {
+	sku    string
+	x, y   float64
+	orient float64
+}
+
+func main() {
+	net, err := milback.NewNetwork(milback.WithSeed(23))
+	if err != nil {
+		log.Fatal(err)
+	}
+	assets := []asset{
+		{"PALLET-0041", 2.0, 0.3, -5},
+		{"PALLET-0107", 3.2, -1.0, 20},
+		{"CRATE-0092", 4.5, 0.8, -15},
+		{"CRATE-0123", 5.8, -0.4, 8},
+		{"DRUM-0006", 7.0, 1.5, -22},
+		{"DRUM-0017", 8.0, -1.8, 14},
+	}
+
+	fmt.Println("sku         | true (x,y)      | fix (x,y)       | range err | orient err | tilted?")
+	var sumRangeErr float64
+	for _, a := range assets {
+		tag, err := net.Join(a.x, a.y, a.orient)
+		if err != nil {
+			log.Fatalf("%s: %v", a.sku, err)
+		}
+		pos, err := tag.Localize()
+		if err != nil {
+			log.Fatalf("%s: %v", a.sku, err)
+		}
+		trueRange := math.Hypot(a.x, a.y)
+		rangeErr := math.Abs(pos.RangeM - trueRange)
+		orientErr := math.Abs(pos.OrientationDeg - a.orient)
+		sumRangeErr += rangeErr
+		// An asset leaning more than 18° off its rack face is flagged.
+		tilted := "no"
+		if math.Abs(pos.OrientationDeg) > 18 {
+			tilted = "YES"
+		}
+		fmt.Printf("%-11s | (%4.1f, %5.1f) m | (%4.1f, %5.1f) m | %6.1f cm | %7.2f° | %s\n",
+			a.sku, a.x, a.y, pos.X, pos.Y, rangeErr*100, orientErr, tilted)
+
+		// Inventory ACK downlink: the tag's MCU can blink an LED on receipt.
+		ack := []byte("ACK " + a.sku)
+		ex, err := tag.Deliver(ack, milback.Rate36Mbps)
+		if err != nil {
+			log.Fatalf("%s ack: %v", a.sku, err)
+		}
+		if ex.BitErrors > 0 {
+			fmt.Printf("  ! %s ack had %d bit errors\n", a.sku, ex.BitErrors)
+		}
+	}
+	fmt.Printf("\nmean ranging error across the floor: %.1f cm (paper: <5 cm at 5 m, <12 cm at 8 m)\n",
+		sumRangeErr/float64(len(assets))*100)
+}

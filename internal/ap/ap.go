@@ -1,0 +1,184 @@
+// Package ap implements MilBack's access point (paper Fig 7 and §8): an
+// FMCW transmitter for localization and orientation sensing, a two-antenna
+// receive array for angle-of-arrival, and the two-tone OAQFM transceiver
+// for uplink and downlink communication.
+//
+// The paper builds the AP from a Keysight VXG waveform generator, an
+// ADPA7005 PA, 20 dBi horns, ADL8142 LNAs, ZMDB-44H-K+ mixers, ZFHP-*
+// high-pass filters and an oscilloscope; here the whole receive chain is
+// simulated (DESIGN.md §1). FMCW processing happens in the dechirped (beat)
+// domain, which is mathematically identical to mixing the received chirp
+// against the transmitted one.
+package ap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// Config holds the AP's RF and processing parameters.
+type Config struct {
+	// TxPowerW is the transmit power (0.5 W = 27 dBm, §8).
+	TxPowerW float64
+	// TxGainDBi / RxGainDBi are the horn gains (20 dBi, §8).
+	TxGainDBi, RxGainDBi float64
+	// RxSpacingM is the receive-array element spacing; defaults to λ/2 at
+	// the band centre.
+	RxSpacingM float64
+	// BeatSampleRateHz is the ADC rate for the dechirped signal.
+	BeatSampleRateHz float64
+	// NoiseFigureDB is the receiver noise figure.
+	NoiseFigureDB float64
+	// FFTSize is the zero-padded range-FFT length.
+	FFTSize int
+	// ChirpIntervalS is the chirp repetition interval within a burst; it
+	// sets the Doppler sampling rate for radial-velocity estimation. The
+	// prototype's 10 kHz node toggling implies 50 µs between chirps.
+	ChirpIntervalS float64
+	// LocalizationChirp is the Field-2 chirp.
+	LocalizationChirp waveform.Chirp
+	// OrientationChirp is the Field-1 chirp.
+	OrientationChirp waveform.Chirp
+	// ImplementationLossDB lumps cable/connector/polarization/processing
+	// losses of the receive chain (calibration constant, DESIGN.md §4.6).
+	ImplementationLossDB float64
+	// SweepNonlinearityStd is the per-capture fractional error of the chirp
+	// slope (VXG sweep nonlinearity + clock error). It scales range
+	// estimates by (1+η) and skews the time→frequency map the orientation
+	// estimator relies on — the dominant, distance-proportional term of the
+	// paper's ranging error (Fig 12a).
+	SweepNonlinearityStd float64
+	// SyncJitterStd is the per-capture trigger-synchronization jitter (s)
+	// between the waveform generator and the digitizer ("synchronized
+	// externally", §8); it adds a distance-independent ranging error floor.
+	SyncJitterStd float64
+	// RxPhaseMismatchStd is the per-capture phase mismatch (radians)
+	// between the two receive chains (cables, LNAs, mixers), the dominant
+	// angle-estimation error (Fig 12b).
+	RxPhaseMismatchStd float64
+}
+
+// DefaultConfig returns the §8 prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		TxPowerW:             0.5,
+		TxGainDBi:            20,
+		RxGainDBi:            20,
+		RxSpacingM:           rfsim.Wavelength(28e9) / 2,
+		BeatSampleRateHz:     25e6,
+		NoiseFigureDB:        6,
+		FFTSize:              2048,
+		ChirpIntervalS:       50e-6,
+		LocalizationChirp:    waveform.MilBackLocalizationChirp(),
+		OrientationChirp:     waveform.MilBackOrientationChirp(),
+		ImplementationLossDB: 17,
+		SweepNonlinearityStd: 0.012,
+		SyncJitterStd:        0.15e-9,
+		RxPhaseMismatchStd:   0.09,
+	}
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.TxPowerW <= 0 {
+		return fmt.Errorf("ap: tx power must be positive, got %g", c.TxPowerW)
+	}
+	if c.BeatSampleRateHz <= 0 {
+		return fmt.Errorf("ap: beat sample rate must be positive, got %g", c.BeatSampleRateHz)
+	}
+	if c.FFTSize < 8 || c.FFTSize&(c.FFTSize-1) != 0 {
+		return fmt.Errorf("ap: FFT size must be a power of two >= 8, got %d", c.FFTSize)
+	}
+	if c.RxSpacingM <= 0 {
+		return fmt.Errorf("ap: rx spacing must be positive, got %g", c.RxSpacingM)
+	}
+	if c.ChirpIntervalS <= 0 {
+		return fmt.Errorf("ap: chirp interval must be positive, got %g", c.ChirpIntervalS)
+	}
+	if c.NoiseFigureDB < 0 {
+		return fmt.Errorf("ap: noise figure must be >= 0, got %g", c.NoiseFigureDB)
+	}
+	if c.ImplementationLossDB < 0 {
+		return fmt.Errorf("ap: implementation loss must be >= 0, got %g", c.ImplementationLossDB)
+	}
+	if c.SweepNonlinearityStd < 0 || c.SyncJitterStd < 0 || c.RxPhaseMismatchStd < 0 {
+		return fmt.Errorf("ap: imperfection stds must be >= 0 (got %g, %g, %g)",
+			c.SweepNonlinearityStd, c.SyncJitterStd, c.RxPhaseMismatchStd)
+	}
+	if err := c.LocalizationChirp.Validate(); err != nil {
+		return err
+	}
+	return c.OrientationChirp.Validate()
+}
+
+// AP is the MilBack access point.
+type AP struct {
+	cfg   Config
+	tx    *rfsim.Antenna
+	rx    [2]*rfsim.Antenna
+	array *rfsim.RxArray
+	scene *rfsim.Scene
+}
+
+// New builds an AP operating in the given scene (nil means an empty,
+// clutter-free environment).
+func New(cfg Config, scene *rfsim.Scene) (*AP, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if scene == nil {
+		scene = rfsim.EmptyScene()
+	}
+	a := &AP{
+		cfg:   cfg,
+		tx:    &rfsim.Antenna{BoresightGainDBi: cfg.TxGainDBi, BeamwidthDeg: 18, SidelobeFloorDB: -25},
+		array: &rfsim.RxArray{Spacing: cfg.RxSpacingM},
+		scene: scene,
+	}
+	for i := range a.rx {
+		a.rx[i] = &rfsim.Antenna{BoresightGainDBi: cfg.RxGainDBi, BeamwidthDeg: 18, SidelobeFloorDB: -25}
+	}
+	return a, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config, scene *rfsim.Scene) *AP {
+	a, err := New(cfg, scene)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the AP's configuration.
+func (a *AP) Config() Config { return a.cfg }
+
+// Scene returns the environment the AP operates in.
+func (a *AP) Scene() *rfsim.Scene { return a.scene }
+
+// Steer points the transmit and receive horns toward azimuth (radians). The
+// paper steers mechanically; the protocol layer calls this when it scans for
+// or tracks a node.
+func (a *AP) Steer(azimuthRad float64) {
+	a.tx.Point(azimuthRad)
+	for _, r := range a.rx {
+		r.Point(azimuthRad)
+	}
+}
+
+// Pointing returns the current boresight azimuth (radians).
+func (a *AP) Pointing() float64 { return a.tx.PointingRad }
+
+// noisePowerW returns the receiver noise power (W) over bandwidth bw.
+func (a *AP) noisePowerW(bw float64) float64 {
+	return rfsim.DBmToWatts(rfsim.ThermalNoiseDBm(bw) + a.cfg.NoiseFigureDB)
+}
+
+// implementationLoss returns the linear amplitude factor of the lumped
+// receive-chain losses.
+func (a *AP) implementationLoss() float64 {
+	return math.Pow(10, -a.cfg.ImplementationLossDB/20)
+}

@@ -1,0 +1,479 @@
+package ap
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// BackscatterTarget describes the node as the FMCW processor sees it: a
+// point reflector at a position whose effective reflection gain depends on
+// the chirp index (switch state) and the instantaneous chirp frequency
+// (FSA beam sweep). GainDBi returns the equivalent node gain consumed by
+// rfsim.BackscatterAmplitude; return -Inf for "no reflection".
+type BackscatterTarget struct {
+	Pos     rfsim.Point
+	GainDBi func(chirpIdx int, fHz float64) float64
+	// RadialVelocityMS is the target's range rate in m/s (positive =
+	// receding). Across a chirp burst it advances the round-trip delay by
+	// 2·v·k·CRI/c per chirp, whose carrier-phase progression is the Doppler
+	// observable EstimateRadialVelocity reads.
+	RadialVelocityMS float64
+}
+
+// ModulatedPath injects an extra, possibly chirp-varying path — used to
+// model the FSA ground-plane mirror reflection whose imperfect subtraction
+// degrades AP-side orientation sensing around −6°…−2° (§9.3, Fig 13b).
+type ModulatedPath struct {
+	Pos rfsim.Point
+	// Amplitude returns the linear voltage gain of the path for chirp k
+	// (relative to the transmitted waveform, antenna gains included by the
+	// caller or folded in here).
+	Amplitude func(chirpIdx int) float64
+}
+
+// ChirpFrame is the dechirped receive data of one chirp: one complex
+// baseband beat signal per receive antenna.
+type ChirpFrame struct {
+	Rx [2][]complex128
+}
+
+// SynthesizeChirps produces nChirps dechirped frames for the configured
+// scene plus the given target and extra paths. Each propagation path with
+// round-trip delay τ appears as the beat tone A·exp(j(2π·S·τ·t − 2π·f0·τ)),
+// with the inter-antenna phase offset of its arrival angle. This is the
+// standard dechirp-domain FMCW model (DESIGN.md §4.3).
+func (a *AP) SynthesizeChirps(c waveform.Chirp, nChirps int, tgt *BackscatterTarget,
+	extra []ModulatedPath, ns *rfsim.NoiseSource) []ChirpFrame {
+	var tgts []*BackscatterTarget
+	if tgt != nil {
+		tgts = []*BackscatterTarget{tgt}
+	}
+	return a.SynthesizeChirpsMulti(c, nChirps, tgts, extra, ns)
+}
+
+// SynthesizeChirpsMulti is SynthesizeChirps for any number of simultaneous
+// backscatter targets — the capture model when several nodes respond in the
+// same discovery epoch.
+func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*BackscatterTarget,
+	extra []ModulatedPath, ns *rfsim.NoiseSource) []ChirpFrame {
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("ap: %v", err))
+	}
+	if nChirps < 1 {
+		panic(fmt.Sprintf("ap: need at least one chirp, got %d", nChirps))
+	}
+	fs := a.cfg.BeatSampleRateHz
+	nSamp := c.SampleCount(fs)
+	fc := (c.FreqLow + c.FreqHigh) / 2
+	lambda := rfsim.Wavelength(fc)
+	txAmp := math.Sqrt(a.cfg.TxPowerW)
+	radarLoss := a.implementationLoss()
+
+	// Per-capture hardware imperfections (see Config): sweep-slope error,
+	// trigger jitter, and receive-chain phase mismatch. The processor always
+	// assumes the nominal chirp, so these flow into the estimates exactly as
+	// they do on the bench.
+	var eta, jitter, psi float64
+	if ns != nil {
+		eta = ns.Gaussian(a.cfg.SweepNonlinearityStd)
+		jitter = ns.Gaussian(a.cfg.SyncJitterStd)
+		psi = ns.Gaussian(a.cfg.RxPhaseMismatchStd)
+	}
+	cEff := c
+	cEff.FreqHigh = c.FreqLow + (c.FreqHigh-c.FreqLow)*(1+eta)
+
+	clutter := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
+	noisePower := a.noisePowerW(fs)
+
+	frames := make([]ChirpFrame, nChirps)
+	for k := 0; k < nChirps; k++ {
+		var frame ChirpFrame
+		for m := 0; m < 2; m++ {
+			frame.Rx[m] = make([]complex128, nSamp)
+		}
+		// Static clutter: constant per chirp.
+		for _, p := range clutter {
+			a.addBeatTone(&frame, cEff, p.Delay+jitter, p.Amplitude*txAmp*radarLoss, p.AoARad, lambda, psi, nil)
+		}
+		// The nodes' modulated reflections.
+		for _, tgt := range tgts {
+			if tgt == nil {
+				continue
+			}
+			d := tgt.Pos.Distance(rfsim.Point{})
+			az := tgt.Pos.AngleFrom(rfsim.Point{})
+			// Range rate advances the delay chirp by chirp (Doppler).
+			dk := d + tgt.RadialVelocityMS*float64(k)*a.cfg.ChirpIntervalS
+			if dk <= 0 {
+				continue
+			}
+			tau := 2*rfsim.PropagationDelay(dk) + jitter
+			gainAt := tgt.GainDBi
+			// A blocker between AP and node attenuates the round trip:
+			// one-way loss L dB ⇒ amplitude factor 10^(−L/10).
+			blk := math.Pow(10, -a.scene.ObstructionLossDB(rfsim.Point{}, tgt.Pos)/10)
+			ampAt := func(t float64) float64 {
+				g := gainAt(k, cEff.FrequencyAt(t))
+				if math.IsInf(g, -1) {
+					return 0
+				}
+				return rfsim.BackscatterAmplitude(a.tx.GainDBi(az), a.rx[0].GainDBi(az), g, d, fc) *
+					txAmp * radarLoss * blk
+			}
+			a.addBeatTone(&frame, cEff, tau, 0, az, lambda, psi, ampAt)
+		}
+		// Extra injected paths (e.g. the mirror reflection).
+		for _, ep := range extra {
+			d := ep.Pos.Distance(rfsim.Point{})
+			az := ep.Pos.AngleFrom(rfsim.Point{})
+			tau := 2*rfsim.PropagationDelay(d) + jitter
+			a.addBeatTone(&frame, cEff, tau, ep.Amplitude(k)*txAmp*radarLoss, az, lambda, psi, nil)
+		}
+		if ns != nil {
+			for m := 0; m < 2; m++ {
+				ns.AddComplexAWGN(frame.Rx[m], noisePower)
+			}
+		}
+		frames[k] = frame
+	}
+	return frames
+}
+
+// addBeatTone adds one path's beat contribution to both antennas. If ampAt
+// is non-nil it supplies a time-varying amplitude; otherwise amp is used.
+// psi is the receive-chain phase mismatch applied to antenna 1.
+func (a *AP) addBeatTone(frame *ChirpFrame, c waveform.Chirp, tau, amp, aoaRad, lambda, psi float64,
+	ampAt func(t float64) float64) {
+	fs := a.cfg.BeatSampleRateHz
+	fBeat := c.BeatFrequency(tau)
+	phi0 := -2 * math.Pi * c.FreqLow * tau
+	dPhi := 2*math.Pi*a.cfg.RxSpacingM*math.Sin(aoaRad)/lambda + psi
+	n := len(frame.Rx[0])
+	for i := 0; i < n; i++ {
+		t := float64(i) / fs
+		av := amp
+		if ampAt != nil {
+			av = ampAt(t)
+		}
+		if av == 0 {
+			continue
+		}
+		ph := 2*math.Pi*fBeat*t + phi0
+		s, cth := math.Sincos(ph)
+		base := complex(av*cth, av*s)
+		frame.Rx[0][i] += base
+		s2, c2 := math.Sincos(dPhi)
+		frame.Rx[1][i] += base * complex(c2, s2)
+	}
+}
+
+// subtractedSpectra windows and FFTs every chirp on both antennas, then
+// forms the consecutive differences X_{k+1} − X_k — the §5.1 background
+// subtraction that removes static clutter while keeping the node's
+// modulated reflection.
+func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("ap: background subtraction needs >= 2 chirps, got %d", len(frames))
+	}
+	nfft := a.cfg.FFTSize
+	spectra := make([][2][]complex128, len(frames))
+	for k, f := range frames {
+		for m := 0; m < 2; m++ {
+			n := len(f.Rx[m])
+			if n == 0 {
+				return nil, fmt.Errorf("ap: empty chirp frame %d", k)
+			}
+			buf := make([]complex128, nfft)
+			w := dsp.Hann(n)
+			for i := 0; i < n && i < nfft; i++ {
+				buf[i] = f.Rx[m][i] * complex(w[i], 0)
+			}
+			dsp.FFTInPlace(buf)
+			spectra[k][m] = buf
+		}
+	}
+	diffs := make([][2][]complex128, len(frames)-1)
+	for k := 0; k+1 < len(spectra); k++ {
+		for m := 0; m < 2; m++ {
+			d := make([]complex128, nfft)
+			for i := range d {
+				d[i] = spectra[k+1][m][i] - spectra[k][m][i]
+			}
+			diffs[k][m] = d
+		}
+	}
+	return diffs, nil
+}
+
+// LocalizationResult is the output of ProcessLocalization (§5.1, §9.2).
+type LocalizationResult struct {
+	// RangeM is the estimated AP→node distance in meters.
+	RangeM float64
+	// AzimuthRad is the estimated direction of the node from the two-antenna
+	// phase difference.
+	AzimuthRad float64
+	// BeatHz is the detected beat frequency.
+	BeatHz float64
+	// PeakBin is the interpolated FFT bin of the node's reflection.
+	PeakBin float64
+	// PeakSNRdB is the detection SNR of the node peak over the residual
+	// floor, useful for diagnostics.
+	PeakSNRdB float64
+}
+
+// PeakIndex returns the integer FFT bin of the node's reflection, the form
+// the masking and Doppler estimators consume.
+func (r LocalizationResult) PeakIndex() int {
+	return int(math.Round(r.PeakBin))
+}
+
+// ProcessLocalization runs the §5.1 pipeline over a set of chirps captured
+// while the node toggles its ports: range FFT per chirp, consecutive-pair
+// background subtraction, peak search with sub-bin interpolation, range from
+// the beat frequency, and angle from the inter-antenna phase at the peak.
+func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (LocalizationResult, error) {
+	diffs, err := a.subtractedSpectra(frames)
+	if err != nil {
+		return LocalizationResult{}, err
+	}
+	nfft := a.cfg.FFTSize
+	fs := a.cfg.BeatSampleRateHz
+	// Accumulate |D|² over subtraction pairs on antenna 0; positive beat
+	// frequencies only (bins up to Nyquist).
+	half := nfft / 2
+	profile := make([]float64, half)
+	for _, d := range diffs {
+		for i := 1; i < half; i++ { // skip DC
+			re, im := real(d[0][i]), imag(d[0][i])
+			profile[i] += re*re + im*im
+		}
+	}
+	peak := dsp.MaxPeak(profile)
+	if peak.Index <= 0 {
+		return LocalizationResult{}, fmt.Errorf("ap: no backscatter peak found")
+	}
+	med := dsp.Median(profile)
+	if med > 0 && peak.Value < 10*med {
+		return LocalizationResult{}, fmt.Errorf("ap: peak %.3g not significant over floor %.3g", peak.Value, med)
+	}
+	fBeat := peak.Position * fs / float64(nfft)
+	tau := c.DelayForBeat(fBeat)
+	rng := tau * rfsim.SpeedOfLight / 2
+
+	// Angle: phase difference between antennas at the peak bin, averaged
+	// coherently over subtraction pairs.
+	var acc complex128
+	for _, d := range diffs {
+		acc += d[1][peak.Index] * cmplx.Conj(d[0][peak.Index])
+	}
+	dPhi := cmplx.Phase(acc)
+	fc := (c.FreqLow + c.FreqHigh) / 2
+	arr := rfsim.RxArray{Spacing: a.cfg.RxSpacingM}
+	az := arr.AngleFromPhase(dPhi, fc)
+
+	snr := math.Inf(1)
+	if med > 0 {
+		snr = 10 * math.Log10(peak.Value/med)
+	}
+	return LocalizationResult{
+		RangeM:     rng,
+		AzimuthRad: az,
+		BeatHz:     fBeat,
+		PeakBin:    peak.Position,
+		PeakSNRdB:  snr,
+	}, nil
+}
+
+// OrientationProfile is the AP-side orientation observable (§5.2a): the
+// node's reflected power as a function of the chirp's instantaneous
+// frequency, recovered by masking the node's beat component and IFFT-ing
+// back to the time (= frequency-sweep) axis.
+type OrientationProfile struct {
+	// FreqHz[i] is the instantaneous chirp frequency of sample i.
+	FreqHz []float64
+	// Power[i] is the recovered modulated-reflection envelope at sample i.
+	Power []float64
+	// PeakFreqHz is the interpolated frequency of maximum reflection.
+	PeakFreqHz float64
+}
+
+// EstimateOrientationProfile implements §5.2a: background-subtract, isolate
+// the node's beat bin (±maskBins), IFFT, and measure envelope vs time. The
+// caller maps PeakFreqHz to an angle through the FSA beam map of the port
+// that was toggling.
+func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
+	peakBin int, maskBins int) (OrientationProfile, error) {
+	if maskBins < 1 {
+		return OrientationProfile{}, fmt.Errorf("ap: maskBins must be >= 1, got %d", maskBins)
+	}
+	diffs, err := a.subtractedSpectra(frames)
+	if err != nil {
+		return OrientationProfile{}, err
+	}
+	nfft := a.cfg.FFTSize
+	if peakBin <= 0 || peakBin >= nfft/2 {
+		return OrientationProfile{}, fmt.Errorf("ap: peak bin %d outside (0, %d)", peakBin, nfft/2)
+	}
+	fs := a.cfg.BeatSampleRateHz
+	nSamp := c.SampleCount(fs)
+	env := make([]float64, nSamp)
+	for _, d := range diffs {
+		masked := make([]complex128, nfft)
+		lo, hi := peakBin-maskBins, peakBin+maskBins
+		if lo < 1 {
+			lo = 1
+		}
+		if hi >= nfft/2 {
+			hi = nfft/2 - 1
+		}
+		for i := lo; i <= hi; i++ {
+			masked[i] = d[0][i]
+		}
+		dsp.IFFTInPlace(masked)
+		for i := 0; i < nSamp; i++ {
+			env[i] += cmplx.Abs(masked[i])
+		}
+	}
+	// The Hann analysis window tapers the ends of the chirp; undo it so the
+	// envelope reflects the FSA gain profile, avoiding the near-zero edges.
+	w := dsp.Hann(nSamp)
+	for i := range env {
+		if w[i] > 0.05 {
+			env[i] /= w[i]
+		} else {
+			env[i] = 0
+		}
+	}
+	peak := dsp.MaxPeak(env)
+	freqs := c.InstantaneousFrequencies(fs, nSamp)
+	// Interpolate the peak position onto the frequency axis.
+	pf := c.FrequencyAt(peak.Position / fs)
+	return OrientationProfile{FreqHz: freqs, Power: env, PeakFreqHz: pf}, nil
+}
+
+// RangeFromBeat converts a beat frequency to range for the given chirp —
+// exposed for tests and diagnostics.
+func RangeFromBeat(c waveform.Chirp, beatHz float64) float64 {
+	return c.DelayForBeat(beatHz) * rfsim.SpeedOfLight / 2
+}
+
+// EstimateRadialVelocity measures a node's range rate (m/s, positive =
+// receding) from the carrier-phase progression of its modulated beat
+// component across a chirp burst — classic FMCW Doppler processing adapted
+// to the switching backscatter: consecutive subtraction pairs D_k flip sign
+// (the node toggles every chirp, a π step) and additionally rotate by the
+// Doppler phase 2π·f0·2v·CRI/c per chirp. The estimate averages the
+// pairwise rotations coherently, so longer bursts refine it. Unambiguous
+// range: ±c/(4·f_eff·CRI) ≈ ±60 m/s with the default 50 µs interval.
+func (a *AP) EstimateRadialVelocity(c waveform.Chirp, frames []ChirpFrame, peakBin int) (float64, error) {
+	diffs, err := a.subtractedSpectra(frames)
+	if err != nil {
+		return 0, err
+	}
+	if len(diffs) < 2 {
+		return 0, fmt.Errorf("ap: velocity needs >= 3 chirps, got %d", len(frames))
+	}
+	if peakBin <= 0 || peakBin >= a.cfg.FFTSize/2 {
+		return 0, fmt.Errorf("ap: peak bin %d outside (0, %d)", peakBin, a.cfg.FFTSize/2)
+	}
+	var z complex128
+	for k := 0; k+1 < len(diffs); k++ {
+		z += diffs[k+1][0][peakBin] * cmplx.Conj(diffs[k][0][peakBin])
+	}
+	if z == 0 {
+		return 0, fmt.Errorf("ap: no coherent Doppler signal at bin %d", peakBin)
+	}
+	// Each pair's expected rotation is π − Δ with Δ = 2π·f_eff·2v·CRI/c.
+	// The effective Doppler carrier is f0 − B/2: the start-phase term
+	// references the sweep start f0, while the beat tone's per-chirp
+	// slippage through the analysis window contributes the half-band with
+	// the opposite sign (range-Doppler coupling under this receiver's FFT
+	// convention).
+	delta := rfsim.WrapAngle(math.Pi - cmplx.Phase(z))
+	v := delta * rfsim.SpeedOfLight / (4 * math.Pi * a.dopplerCarrier(c) * a.cfg.ChirpIntervalS)
+	return v, nil
+}
+
+// dopplerCarrier returns the effective carrier of the per-chirp Doppler
+// phase progression (see EstimateRadialVelocity).
+func (a *AP) dopplerCarrier(c waveform.Chirp) float64 {
+	return c.FreqLow - c.Bandwidth()/2
+}
+
+// MaxUnambiguousVelocity returns the Doppler aliasing limit of the current
+// chirp interval for the given chirp.
+func (a *AP) MaxUnambiguousVelocity(c waveform.Chirp) float64 {
+	return rfsim.SpeedOfLight / (4 * a.dopplerCarrier(c) * a.cfg.ChirpIntervalS)
+}
+
+// DetectTargets finds every modulated reflector in a capture using
+// cell-averaging CFAR over the background-subtracted profile — the
+// multi-node generalization of ProcessLocalization, used during discovery
+// scans when several nodes respond in the same epoch. Detections are
+// returned strongest-first, at most maxTargets of them.
+func (a *AP) DetectTargets(c waveform.Chirp, frames []ChirpFrame, maxTargets int) ([]LocalizationResult, error) {
+	if maxTargets < 1 {
+		return nil, fmt.Errorf("ap: maxTargets must be >= 1, got %d", maxTargets)
+	}
+	diffs, err := a.subtractedSpectra(frames)
+	if err != nil {
+		return nil, err
+	}
+	nfft := a.cfg.FFTSize
+	fs := a.cfg.BeatSampleRateHz
+	half := nfft / 2
+	profile := make([]float64, half)
+	for _, d := range diffs {
+		for i := 1; i < half; i++ {
+			re, im := real(d[0][i]), imag(d[0][i])
+			profile[i] += re*re + im*im
+		}
+	}
+	// A node's beat component is spread over tens of bins by its amplitude
+	// modulation (the FSA gain sweeping across the chirp), so the CFAR
+	// guard band must clear that spread, and two nodes need comparable
+	// range separation to resolve (~0.7 m with the default profile).
+	spread := 40 * nfft / 2048
+	if spread < 8 {
+		spread = 8
+	}
+	cfar := dsp.CFAR{Guard: spread, Train: spread + 24, ThresholdFactor: 20}
+	peaks, err := cfar.Detect(profile, 3*spread/2)
+	if err != nil {
+		return nil, err
+	}
+	if len(peaks) == 0 {
+		return nil, fmt.Errorf("ap: no modulated targets detected")
+	}
+	if len(peaks) > maxTargets {
+		peaks = peaks[:maxTargets]
+	}
+	fc := (c.FreqLow + c.FreqHigh) / 2
+	arr := rfsim.RxArray{Spacing: a.cfg.RxSpacingM}
+	med := dsp.Median(profile)
+	out := make([]LocalizationResult, 0, len(peaks))
+	for _, p := range peaks {
+		fBeat := p.Position * fs / float64(nfft)
+		var acc complex128
+		for _, d := range diffs {
+			acc += d[1][p.Index] * cmplx.Conj(d[0][p.Index])
+		}
+		snr := math.Inf(1)
+		if med > 0 {
+			snr = 10 * math.Log10(p.Value/med)
+		}
+		out = append(out, LocalizationResult{
+			RangeM:     RangeFromBeat(c, fBeat),
+			AzimuthRad: arr.AngleFromPhase(cmplx.Phase(acc), fc),
+			BeatHz:     fBeat,
+			PeakBin:    p.Position,
+			PeakSNRdB:  snr,
+		})
+	}
+	return out, nil
+}

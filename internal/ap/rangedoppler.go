@@ -1,0 +1,147 @@
+package ap
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// RangeDopplerMap is the classic 2-D FMCW product: power over
+// (range bin × velocity bin), computed from a burst of chirps by a second
+// FFT across the chirp (slow-time) axis. For MilBack the slow-time signal
+// at a node's range bin is its switching sequence times the Doppler
+// rotation, so a node toggling every chirp concentrates at the Nyquist
+// velocity bin offset by its true radial velocity — which both separates
+// it from static clutter (clutter sits at zero Doppler) and measures its
+// speed in one shot.
+type RangeDopplerMap struct {
+	// Power[v][r] is the power at velocity bin v, range bin r.
+	Power [][]float64
+	// RangeAxisM maps range bins to meters.
+	RangeAxisM []float64
+	// VelocityAxisMS maps velocity bins to m/s. Because the node toggles
+	// every chirp, its energy appears at axis value (±v_nyq + v_true); the
+	// axis here is already re-centred on the toggling line, so a static
+	// node reads 0 m/s.
+	VelocityAxisMS []float64
+}
+
+// ComputeRangeDopplerMap builds the map from a chirp burst. nChirps should
+// be a power of two ≥ 8 for a clean Doppler FFT; other lengths are
+// zero-padded.
+func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (RangeDopplerMap, error) {
+	if len(frames) < 4 {
+		return RangeDopplerMap{}, fmt.Errorf("ap: range-Doppler needs >= 4 chirps, got %d", len(frames))
+	}
+	nfft := a.cfg.FFTSize
+	fs := a.cfg.BeatSampleRateHz
+	half := nfft / 2
+	// Slow-time input: the background-subtracted spectra. Subtraction is a
+	// slow-time high-pass that removes static clutter AND the node's
+	// non-toggling (mean) Doppler line, leaving its switching line — the
+	// one the velocity axis below is centred on.
+	diffs, err := a.subtractedSpectra(frames)
+	if err != nil {
+		return RangeDopplerMap{}, err
+	}
+	spectra := make([][]complex128, len(diffs))
+	for k := range diffs {
+		spectra[k] = diffs[k][0]
+	}
+	// Doppler FFT down each range column.
+	nd := dsp.NextPowerOfTwo(len(spectra))
+	power := make([][]float64, nd)
+	for v := range power {
+		power[v] = make([]float64, half)
+	}
+	col := make([]complex128, nd)
+	for r := 0; r < half; r++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for k := range spectra {
+			col[k] = spectra[k][r]
+		}
+		dsp.FFTInPlace(col)
+		shifted := dsp.FFTShift(col)
+		for v := 0; v < nd; v++ {
+			re, im := real(shifted[v]), imag(shifted[v])
+			power[v][r] = re*re + im*im
+		}
+	}
+	// Axes. Doppler bin spacing: 1/(nd·CRI) Hz of slow-time frequency;
+	// slow-time frequency f_d maps to velocity v = f_d·c/(2·f_eff). The
+	// toggling line sits at Nyquist (±1/(2·CRI)), so re-centre there.
+	rd := RangeDopplerMap{Power: power}
+	rd.RangeAxisM = make([]float64, half)
+	for r := 0; r < half; r++ {
+		rd.RangeAxisM[r] = RangeFromBeat(c, float64(r)*fs/float64(nfft))
+	}
+	rd.VelocityAxisMS = make([]float64, nd)
+	fEff := a.dopplerCarrier(c)
+	cri := a.cfg.ChirpIntervalS
+	for v := 0; v < nd; v++ {
+		fd := (float64(v) - float64(nd)/2) / (float64(nd) * cri) // Hz, after FFTShift
+		// Offset by the toggling half-rate line and wrap into the
+		// unambiguous interval.
+		fdNode := fd - 1/(2*cri)
+		for fdNode < -1/(2*cri) {
+			fdNode += 1 / cri
+		}
+		for fdNode > 1/(2*cri) {
+			fdNode -= 1 / cri
+		}
+		rd.VelocityAxisMS[v] = -fdNode * rfsim.SpeedOfLight / (2 * fEff)
+	}
+	return rd, nil
+}
+
+// StrongestCell returns the (velocity, range) of the map's peak cell,
+// excluding the zero-Doppler clutter ridge (±guard velocity bins around the
+// static line).
+func (m RangeDopplerMap) StrongestCell(clutterGuardBins int) (velocityMS, rangeM float64, err error) {
+	if len(m.Power) == 0 {
+		return 0, 0, fmt.Errorf("ap: empty range-Doppler map")
+	}
+	nd := len(m.Power)
+	// The static-clutter ridge sits at slow-time DC. After re-centring the
+	// velocity axis on the toggling line, clutter appears at the axis value
+	// farthest from zero — equivalently at shifted bin nd/2. Exclude a
+	// guard band around it.
+	clutterBin := nd / 2
+	best := math.Inf(-1)
+	bv, br := -1, -1
+	for v := range m.Power {
+		dist := v - clutterBin
+		if dist < 0 {
+			dist = -dist
+		}
+		if wrap := nd - dist; wrap < dist {
+			dist = wrap
+		}
+		if dist <= clutterGuardBins {
+			continue
+		}
+		for r := 1; r < len(m.Power[v]); r++ {
+			if m.Power[v][r] > best {
+				best = m.Power[v][r]
+				bv, br = v, r
+			}
+		}
+	}
+	if bv < 0 {
+		return 0, 0, fmt.Errorf("ap: no cells outside the clutter guard")
+	}
+	return m.VelocityAxisMS[bv], m.RangeAxisM[br], nil
+}
+
+// VelocityResolution returns the Doppler bin spacing in m/s.
+func (m RangeDopplerMap) VelocityResolution() float64 {
+	if len(m.VelocityAxisMS) < 2 {
+		return 0
+	}
+	return math.Abs(m.VelocityAxisMS[1] - m.VelocityAxisMS[0])
+}

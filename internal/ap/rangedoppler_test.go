@@ -1,0 +1,117 @@
+package ap
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rfsim"
+)
+
+func TestRangeDopplerMapStaticNode(t *testing.T) {
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	tgt := pointTarget(rfsim.Point{X: 3}, 25) // toggling, static
+	frames := a.SynthesizeChirps(c, 64, tgt, nil, rfsim.NewNoiseSource(501))
+	m, err := a.ComputeRangeDopplerMap(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Power) != 64 || len(m.Power[0]) != a.Config().FFTSize/2 {
+		t.Fatalf("map dims %dx%d", len(m.Power), len(m.Power[0]))
+	}
+	v, r, err := m.StrongestCell(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 0.2 {
+		t.Errorf("range = %.2f, want 3", r)
+	}
+	if math.Abs(v) > 1.5 {
+		t.Errorf("static node velocity = %.2f, want ~0", v)
+	}
+}
+
+func TestRangeDopplerMapMovingNode(t *testing.T) {
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	for _, vel := range []float64{-8, 5, 15} {
+		tgt := movingTarget(4, vel)
+		frames := a.SynthesizeChirps(c, 128, tgt, nil, rfsim.NewNoiseSource(int64(vel)+600))
+		m, err := a.ComputeRangeDopplerMap(c, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, r, err := m.StrongestCell(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r-4) > 0.3 {
+			t.Errorf("vel=%g: range %.2f, want 4", vel, r)
+		}
+		// Bin-quantized velocity: tolerance one bin.
+		if math.Abs(v-vel) > m.VelocityResolution()+0.1 {
+			t.Errorf("vel=%g: map velocity %.2f (resolution %.2f)", vel, v, m.VelocityResolution())
+		}
+	}
+}
+
+func TestRangeDopplerSeparatesTwoNodes(t *testing.T) {
+	// Two nodes at the same range but different velocities: the 2-D map
+	// resolves what the 1-D range profile cannot.
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	tgts := []*BackscatterTarget{movingTarget(4, 0), movingTarget(4, 12)}
+	frames := a.SynthesizeChirpsMulti(c, 128, tgts, nil, rfsim.NewNoiseSource(620))
+	m, err := a.ComputeRangeDopplerMap(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect energy concentrations near v=0 and v=12 at the 4 m range bin.
+	rBin := 0
+	bestD := math.Inf(1)
+	for i, rr := range m.RangeAxisM {
+		if d := math.Abs(rr - 4); d < bestD {
+			bestD = d
+			rBin = i
+		}
+	}
+	powerNear := func(vWant float64) float64 {
+		p := 0.0
+		for v := range m.Power {
+			if math.Abs(m.VelocityAxisMS[v]-vWant) < m.VelocityResolution()*1.5 {
+				for dr := -3; dr <= 3; dr++ {
+					if rBin+dr >= 0 && rBin+dr < len(m.Power[v]) {
+						p += m.Power[v][rBin+dr]
+					}
+				}
+			}
+		}
+		return p
+	}
+	p0 := powerNear(0)
+	p12 := powerNear(12)
+	pMid := powerNear(6) // between the two: should be much weaker
+	if p0 < 10*pMid || p12 < 10*pMid {
+		t.Errorf("velocity separation failed: p0=%.3g p12=%.3g mid=%.3g", p0, p12, pMid)
+	}
+}
+
+func TestRangeDopplerValidation(t *testing.T) {
+	a := MustNew(DefaultConfig(), nil)
+	c := a.Config().LocalizationChirp
+	tgt := pointTarget(rfsim.Point{X: 3}, 25)
+	frames := a.SynthesizeChirps(c, 8, tgt, nil, nil)
+	if _, err := a.ComputeRangeDopplerMap(c, frames[:2]); err == nil {
+		t.Error("too few chirps should fail")
+	}
+	if _, _, err := (RangeDopplerMap{}).StrongestCell(2); err == nil {
+		t.Error("empty map should fail")
+	}
+	m, err := a.ComputeRangeDopplerMap(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.StrongestCell(1000); err == nil {
+		t.Error("guard covering everything should fail")
+	}
+}

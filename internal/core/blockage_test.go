@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rfsim"
+)
+
+// person returns a human-torso blocker crossing the x axis at the given x.
+func person(x float64) rfsim.Obstruction {
+	return rfsim.Obstruction{
+		Name:   "person",
+		A:      rfsim.Point{X: x, Y: -0.4},
+		B:      rfsim.Point{X: x, Y: 0.4},
+		LossDB: 30,
+	}
+}
+
+func TestBlockageKillsLocalization(t *testing.T) {
+	s := testSystem(t)
+	n, err := s.AddNode(rfsim.Point{X: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Localize(n, 101); err != nil {
+		t.Fatalf("clear-path localization failed: %v", err)
+	}
+	s.AP.Scene().AddObstruction(person(2))
+	if _, err := s.Localize(n, 101); err == nil {
+		t.Fatal("localization through a 30 dB blocker should fail (60 dB round trip)")
+	}
+	// Blocker leaves: the link recovers.
+	if !s.AP.Scene().RemoveObstruction("person") {
+		t.Fatal("removal failed")
+	}
+	if _, err := s.Localize(n, 101); err != nil {
+		t.Fatalf("post-blockage localization failed: %v", err)
+	}
+}
+
+func TestBlockageDegradesDownlink(t *testing.T) {
+	s := testSystem(t)
+	n, err := s.AddNode(rfsim.Point{X: 3}, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("through the wall")
+	clear, err := s.Downlink(n, -10, payload, 18e6, 103)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AP.Scene().AddObstruction(person(1.5))
+	blocked, err := s.Downlink(n, -10, payload, 18e6, 103)
+	if err == nil {
+		// The pilot may still lock; if so the link must be visibly worse.
+		if blocked.SINRdB >= clear.SINRdB-20 {
+			t.Errorf("blocked SINR %.1f dB, clear %.1f dB: want >= 20 dB penalty",
+				blocked.SINRdB, clear.SINRdB)
+		}
+		if blocked.BitErrors == 0 {
+			t.Error("expected bit errors through a 30 dB blocker")
+		}
+	}
+}
+
+func TestBlockageDegradesUplinkSNR(t *testing.T) {
+	s := testSystem(t)
+	n, err := s.AddNode(rfsim.Point{X: 3}, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clear, err := s.Uplink(n, -10, []byte{1, 2, 3}, 10e6, 105)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AP.Scene().AddObstruction(person(1.5))
+	blocked, err := s.Uplink(n, -10, []byte{1, 2, 3}, 10e6, 105)
+	if err == nil {
+		// Round-trip through a 30 dB one-way blocker: 60 dB SNR penalty.
+		if clear.SNRdB-blocked.SNRdB < 55 {
+			t.Errorf("uplink SNR penalty = %.1f dB, want ~60", clear.SNRdB-blocked.SNRdB)
+		}
+	}
+}
+
+func TestBlockageDoesNotAffectOtherBearings(t *testing.T) {
+	// A blocker on one node's line of sight must not touch a node at a
+	// different bearing.
+	s := testSystem(t)
+	blockedNode, err := s.AddNode(rfsim.Point{X: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearNode, err := s.AddNode(rfsim.PolarPoint(4, rfsim.DegToRad(25)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AP.Scene().AddObstruction(person(2))
+	if _, err := s.Localize(blockedNode, 107); err == nil {
+		t.Error("blocked node should not localize")
+	}
+	if _, err := s.Localize(clearNode, 108); err != nil {
+		t.Errorf("clear node should localize: %v", err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package core is the MilBack system engine — the paper's primary
+// contribution assembled from its substrates: it wires a simulated AP
+// (internal/ap), backscatter nodes (internal/node), the RF channel
+// (internal/rfsim) and the waveforms (internal/waveform) into the complete
+// pipelines of the paper:
+//
+//   - Localization (§5.1): FMCW + node switching + background subtraction.
+//   - Orientation at the AP (§5.2a): reflected-power-vs-frequency profiling,
+//     including the ground-plane mirror-reflection artifact of Fig 13b.
+//   - Orientation at the node (§5.2b): triangular-chirp peak separation.
+//   - Two-way OAQFM communication (§6) with orientation-derived tone pairs.
+//   - The joint protocol (§7) is layered on top by internal/proto.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ap"
+	"repro/internal/fsa"
+	"repro/internal/node"
+	"repro/internal/rfsim"
+)
+
+// Config assembles a System.
+type Config struct {
+	AP   ap.Config
+	Node node.Config
+	// LocalizationChirps is the number of Field-2 chirps (paper: 5).
+	LocalizationChirps int
+	// OrientationMaskBins is the FFT mask half-width used when isolating the
+	// node's beat component for AP-side orientation sensing.
+	OrientationMaskBins int
+	// MirrorReflection enables the FSA ground-plane specular artifact that
+	// degrades AP-side orientation around −6°…−2° (Fig 13b). See
+	// DESIGN.md §4.4.
+	MirrorReflection bool
+	// MirrorCenterDeg / MirrorWidthDeg locate the specular collision window.
+	MirrorCenterDeg, MirrorWidthDeg float64
+	// MirrorGainDBi is the mirror path's equivalent reflection gain at the
+	// specular centre.
+	MirrorGainDBi float64
+	// MirrorModulationDepth is the fraction of the mirror amplitude that
+	// varies with the node's switching (the part background subtraction
+	// cannot remove).
+	MirrorModulationDepth float64
+	// MirrorOffsetM displaces the mirror image radially behind the node
+	// (the ground-plane image plane), so its beat tone interferes with the
+	// node's and ripples the orientation profile.
+	MirrorOffsetM float64
+	// NodeClockSkewStd is the fractional error of the node MCU's cheap
+	// clock per capture. The node converts its measured peak separation Δt
+	// to a frequency assuming the nominal chirp slope; clock skew (and the
+	// AP's own sweep nonlinearity) distort that mapping — the dominant
+	// node-side orientation error on real hardware (Fig 13a).
+	NodeClockSkewStd float64
+}
+
+// DefaultConfig returns the §8 prototype configuration.
+func DefaultConfig() Config {
+	return Config{
+		AP:                    ap.DefaultConfig(),
+		Node:                  node.DefaultConfig(),
+		LocalizationChirps:    5,
+		OrientationMaskBins:   40,
+		MirrorReflection:      true,
+		MirrorCenterDeg:       -4,
+		MirrorWidthDeg:        2,
+		MirrorGainDBi:         20,
+		MirrorModulationDepth: 0.35,
+		MirrorOffsetM:         0.12,
+		NodeClockSkewStd:      0.04,
+	}
+}
+
+// System is one MilBack deployment: an AP in a scene plus registered nodes.
+type System struct {
+	AP    *ap.AP
+	cfg   Config
+	nodes []*node.Node
+}
+
+// NewSystem builds a system operating in the given scene (nil = no clutter).
+func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
+	if cfg.LocalizationChirps < 2 {
+		return nil, fmt.Errorf("core: need >= 2 localization chirps for background subtraction, got %d",
+			cfg.LocalizationChirps)
+	}
+	if cfg.OrientationMaskBins < 1 {
+		return nil, fmt.Errorf("core: orientation mask bins must be >= 1, got %d", cfg.OrientationMaskBins)
+	}
+	if cfg.MirrorWidthDeg <= 0 {
+		return nil, fmt.Errorf("core: mirror width must be positive, got %g", cfg.MirrorWidthDeg)
+	}
+	if cfg.MirrorModulationDepth < 0 || cfg.MirrorModulationDepth > 1 {
+		return nil, fmt.Errorf("core: mirror modulation depth %g outside [0,1]", cfg.MirrorModulationDepth)
+	}
+	if cfg.NodeClockSkewStd < 0 || cfg.NodeClockSkewStd > 0.2 {
+		return nil, fmt.Errorf("core: node clock skew std %g outside [0, 0.2]", cfg.NodeClockSkewStd)
+	}
+	a, err := ap.New(cfg.AP, scene)
+	if err != nil {
+		return nil, err
+	}
+	return &System{AP: a, cfg: cfg}, nil
+}
+
+// MustNewSystem is NewSystem for known-good configs.
+func MustNewSystem(cfg Config, scene *rfsim.Scene) *System {
+	s, err := NewSystem(cfg, scene)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// AddNode places a new node at the given position (meters, AP at origin)
+// and orientation (degrees) and registers it with the system.
+func (s *System) AddNode(pos rfsim.Point, orientationDeg float64) (*node.Node, error) {
+	n, err := node.New(s.cfg.Node, pos, orientationDeg)
+	if err != nil {
+		return nil, err
+	}
+	s.nodes = append(s.nodes, n)
+	return n, nil
+}
+
+// Nodes returns the registered nodes.
+func (s *System) Nodes() []*node.Node { return s.nodes }
+
+// localizationTarget builds the dechirp-domain view of a node that toggles
+// BOTH ports together, alternating per chirp — the §5.1 switching pattern.
+func localizationTarget(n *node.Node) *ap.BackscatterTarget {
+	return &ap.BackscatterTarget{
+		Pos: n.Position,
+		GainDBi: func(k int, fHz float64) float64 {
+			prevA, prevB := n.FSA.ModeOf(fsa.PortA), n.FSA.ModeOf(fsa.PortB)
+			mode := fsa.Absorptive
+			if k%2 == 1 {
+				mode = fsa.Reflective
+			}
+			n.FSA.SetModes(mode, mode)
+			g := 20 * math.Log10(n.FSA.ReflectionAmplitude(fHz, n.OrientationDeg)) / 2
+			n.FSA.SetModes(prevA, prevB)
+			return g
+		},
+	}
+}
+
+// orientationTarget builds the §5.2a view: port A held absorptive, port B
+// toggling per chirp.
+func orientationTarget(n *node.Node) *ap.BackscatterTarget {
+	return &ap.BackscatterTarget{
+		Pos: n.Position,
+		GainDBi: func(k int, fHz float64) float64 {
+			prevA, prevB := n.FSA.ModeOf(fsa.PortA), n.FSA.ModeOf(fsa.PortB)
+			modeB := fsa.Absorptive
+			if k%2 == 1 {
+				modeB = fsa.Reflective
+			}
+			n.FSA.SetModes(fsa.Absorptive, modeB)
+			g := 20 * math.Log10(n.FSA.ReflectionAmplitude(fHz, n.OrientationDeg)) / 2
+			n.FSA.SetModes(prevA, prevB)
+			return g
+		},
+	}
+}
+
+// mirrorPaths returns the ground-plane specular path for the node, if the
+// artifact is enabled and the node's orientation falls inside the specular
+// window. Its amplitude varies with the node's switching (modulation depth),
+// so background subtraction removes it only partially (§9.3).
+func (s *System) mirrorPaths(n *node.Node) []ap.ModulatedPath {
+	if !s.cfg.MirrorReflection {
+		return nil
+	}
+	off := (n.OrientationDeg - s.cfg.MirrorCenterDeg) / s.cfg.MirrorWidthDeg
+	strength := math.Exp(-off * off)
+	if strength < 1e-3 {
+		return nil
+	}
+	d := n.Distance()
+	fc := n.FSA.CenterFrequency()
+	gm := s.cfg.MirrorGainDBi + 10*math.Log10(strength)
+	base := rfsim.BackscatterAmplitude(s.AP.Config().TxGainDBi, s.AP.Config().RxGainDBi, gm, d, fc)
+	depth := s.cfg.MirrorModulationDepth
+	// The image sits slightly behind the node (behind the FSA ground
+	// plane); the displaced beat tone interferes with the node's tone and
+	// ripples the orientation profile — the collision §9.3 describes.
+	az := n.AzimuthRad()
+	imagePos := rfsim.PolarPoint(d+s.cfg.MirrorOffsetM, az)
+	return []ap.ModulatedPath{{
+		Pos: imagePos,
+		Amplitude: func(k int) float64 {
+			if k%2 == 1 {
+				return base
+			}
+			return base * (1 - depth)
+		},
+	}}
+}
+
+// EffectiveTxPowerW returns the AP transmit power as seen at the node's
+// bearing after any obstruction loss (one-way). Downlink reception and the
+// node-side orientation sensing both see the AP's signal through whatever
+// blockers sit on the line of sight.
+func (s *System) EffectiveTxPowerW(n *node.Node) float64 {
+	loss := s.AP.Scene().ObstructionLossDB(rfsim.Point{}, n.Position)
+	return s.cfg.AP.TxPowerW * math.Pow(10, -loss/10)
+}
+
+// LocalizationOutcome is the result of one §5 preamble-Field-2 run.
+type LocalizationOutcome struct {
+	// RangeM and AzimuthRad locate the node relative to the AP.
+	RangeM     float64
+	AzimuthRad float64
+	// OrientationDeg is the AP-side estimate of the node's orientation.
+	OrientationDeg float64
+	// PeakSNRdB is the node-reflection detection SNR.
+	PeakSNRdB float64
+}
+
+// Localize runs the full §5 AP-side pipeline for one node: steer at the
+// node, transmit the Field-2 sawtooth chirps while the node toggles, range
+// + angle from background-subtracted FFTs, then re-run with the §5.2a
+// switching pattern to estimate orientation from the reflected-power
+// profile. Deterministic for a given seed.
+func (s *System) Localize(n *node.Node, seed int64) (LocalizationOutcome, error) {
+	c := s.cfg.AP.LocalizationChirp
+	s.AP.Steer(n.AzimuthRad())
+	ns := rfsim.NewNoiseSource(seed)
+
+	// Phase 1: ranging + angle (§5.1, both ports toggling).
+	frames := s.AP.SynthesizeChirps(c, s.cfg.LocalizationChirps, localizationTarget(n), s.mirrorPaths(n), ns)
+	loc, err := s.AP.ProcessLocalization(c, frames)
+	if err != nil {
+		return LocalizationOutcome{}, fmt.Errorf("core: localization: %w", err)
+	}
+
+	// Phase 2: orientation (§5.2a, port B toggling only).
+	oframes := s.AP.SynthesizeChirps(c, s.cfg.LocalizationChirps, orientationTarget(n), s.mirrorPaths(n), ns)
+	prof, err := s.AP.EstimateOrientationProfile(c, oframes, int(math.Round(loc.PeakBin)), s.cfg.OrientationMaskBins)
+	if err != nil {
+		return LocalizationOutcome{}, fmt.Errorf("core: orientation: %w", err)
+	}
+	orientation := n.FSA.BeamAngleDeg(fsa.PortB, prof.PeakFreqHz)
+
+	return LocalizationOutcome{
+		RangeM:         loc.RangeM,
+		AzimuthRad:     loc.AzimuthRad,
+		OrientationDeg: orientation,
+		PeakSNRdB:      loc.PeakSNRdB,
+	}, nil
+}
+
+// MeasureRadialVelocity runs a Doppler burst against the node while it
+// moves radially at radialVelocityMS (ground truth, since simulated nodes
+// hold a static position between calls): nChirps localization chirps are
+// captured with the node toggling, the node's beat bin is found, and the
+// chirp-to-chirp carrier-phase progression yields the range-rate estimate.
+// This is the ISAC extension of the §5 pipeline — the same capture that
+// localizes the node also measures how fast it approaches or recedes.
+func (s *System) MeasureRadialVelocity(n *node.Node, radialVelocityMS float64,
+	nChirps int, seed int64) (float64, error) {
+	if nChirps < 3 {
+		return 0, fmt.Errorf("core: velocity needs >= 3 chirps, got %d", nChirps)
+	}
+	c := s.cfg.AP.LocalizationChirp
+	s.AP.Steer(n.AzimuthRad())
+	ns := rfsim.NewNoiseSource(seed)
+	tgt := localizationTarget(n)
+	tgt.RadialVelocityMS = radialVelocityMS
+	frames := s.AP.SynthesizeChirps(c, nChirps, tgt, s.mirrorPaths(n), ns)
+	loc, err := s.AP.ProcessLocalization(c, frames)
+	if err != nil {
+		return 0, fmt.Errorf("core: velocity localization: %w", err)
+	}
+	return s.AP.EstimateRadialVelocity(c, frames, loc.PeakIndex())
+}
+
+// SenseOrientationAtNode runs the §5.2b node-side pipeline: the AP sends one
+// Field-1 triangular chirp; the node samples its detectors and estimates its
+// own orientation. The transmitted chirp carries the AP's per-capture sweep
+// nonlinearity and the node's clock skew distorts its time axis; the node
+// inverts the *nominal* chirp, so both flow into the estimate exactly as on
+// the bench.
+func (s *System) SenseOrientationAtNode(n *node.Node, seed int64) (node.OrientationResult, error) {
+	s.AP.Steer(n.AzimuthRad())
+	ns := rfsim.NewNoiseSource(seed)
+	nominal := s.cfg.AP.OrientationChirp
+	actual := nominal
+	eta := ns.Gaussian(s.cfg.AP.SweepNonlinearityStd)
+	skew := ns.Gaussian(s.cfg.NodeClockSkewStd)
+	// Combined fractional slope error as seen in the node's sample clock.
+	actual.FreqHigh = nominal.FreqLow + (nominal.FreqHigh-nominal.FreqLow)*(1+eta)*(1+skew)
+	va, vb := n.SampleField1Chirp(actual, s.EffectiveTxPowerW(n), s.cfg.AP.TxGainDBi, ns)
+	return n.EstimateOrientation(nominal, va, vb)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rfsim"
+)
+
+func TestDiscoverFindsAllNodes(t *testing.T) {
+	s := testSystem(t)
+	truth := []struct {
+		d, azDeg float64
+	}{
+		{2.5, -25},
+		{4.0, 0},
+		{6.0, 22},
+	}
+	for _, tr := range truth {
+		if _, err := s.AddNode(rfsim.PolarPoint(tr.d, rfsim.DegToRad(tr.azDeg)), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets, err := s.Discover(DefaultScanConfig(), 31)
+	if err != nil {
+		t.Fatalf("Discover: %v", err)
+	}
+	if len(dets) != len(truth) {
+		t.Fatalf("discovered %d nodes, want %d: %+v", len(dets), len(truth), dets)
+	}
+	// Sorted by azimuth, so they align with truth order.
+	for i, tr := range truth {
+		if math.Abs(dets[i].RangeM-tr.d) > 0.3 {
+			t.Errorf("node %d: range %.2f, want %.2f", i, dets[i].RangeM, tr.d)
+		}
+		if gotAz := rfsim.RadToDeg(dets[i].AzimuthRad); math.Abs(gotAz-tr.azDeg) > 6 {
+			t.Errorf("node %d: azimuth %.1f, want %.1f", i, gotAz, tr.azDeg)
+		}
+		if dets[i].SNRdB < 10 {
+			t.Errorf("node %d: weak detection %.1f dB", i, dets[i].SNRdB)
+		}
+	}
+}
+
+func TestDiscoverEmptyRoomFails(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.Discover(DefaultScanConfig(), 32); err == nil {
+		t.Fatal("discovery with no nodes should fail")
+	}
+}
+
+func TestDiscoverTwoNodesSameAzimuthDifferentRange(t *testing.T) {
+	// SDM cannot separate them in angle, but CFAR separates them in range.
+	s := testSystem(t)
+	for _, d := range []float64{2, 5} {
+		if _, err := s.AddNode(rfsim.PolarPoint(d, rfsim.DegToRad(10)), 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets, err := s.Discover(DefaultScanConfig(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != 2 {
+		t.Fatalf("discovered %d, want 2 (range-separated): %+v", len(dets), dets)
+	}
+	ranges := []float64{dets[0].RangeM, dets[1].RangeM}
+	if ranges[0] > ranges[1] {
+		ranges[0], ranges[1] = ranges[1], ranges[0]
+	}
+	if math.Abs(ranges[0]-2) > 0.3 || math.Abs(ranges[1]-5) > 0.3 {
+		t.Errorf("ranges = %v, want ~[2 5]", ranges)
+	}
+}
+
+func TestMeasureRadialVelocity(t *testing.T) {
+	s := testSystem(t)
+	n, err := s.AddNode(rfsim.Point{X: 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-2, -0.5, 0, 1, 4} {
+		got, err := s.MeasureRadialVelocity(n, v, 32, int64(v*100)+700)
+		if err != nil {
+			t.Fatalf("v=%g: %v", v, err)
+		}
+		if math.Abs(got-v) > 0.4 {
+			t.Errorf("v=%g: estimated %.3f", v, got)
+		}
+	}
+	if _, err := s.MeasureRadialVelocity(n, 1, 2, 1); err == nil {
+		t.Error("too few chirps should fail")
+	}
+}
+
+func TestScanConfigValidation(t *testing.T) {
+	s := testSystem(t)
+	if _, err := s.AddNode(rfsim.Point{X: 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*ScanConfig){
+		func(c *ScanConfig) { c.StopDeg = c.StartDeg },
+		func(c *ScanConfig) { c.StepDeg = 0 },
+		func(c *ScanConfig) { c.MaxTargetsPerPointing = 0 },
+		func(c *ScanConfig) { c.MergeRangeM = 0 },
+		func(c *ScanConfig) { c.MergeAngleDeg = -1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultScanConfig()
+		mut(&cfg)
+		if _, err := s.Discover(cfg, 1); err == nil {
+			t.Errorf("mutation %d: expected error", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package dsp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CFAR implements cell-averaging constant-false-alarm-rate detection, the
+// standard radar technique for finding targets in a range profile whose
+// noise/clutter floor varies across bins. For each cell under test, the
+// noise level is estimated from `Train` cells on each side (skipping
+// `Guard` cells adjacent to the test cell so the target's own energy does
+// not inflate the estimate), and the cell detects if it exceeds the
+// estimate by `ThresholdFactor`.
+//
+// MilBack's AP uses it to pick out multiple nodes' modulated reflections
+// from one background-subtracted profile when several backscatter devices
+// respond in the same capture.
+type CFAR struct {
+	// Guard is the number of guard cells on each side of the test cell.
+	Guard int
+	// Train is the number of training cells on each side.
+	Train int
+	// ThresholdFactor multiplies the noise estimate (linear power ratio).
+	ThresholdFactor float64
+}
+
+// DefaultCFAR returns a detector tuned for MilBack's 2048-bin subtracted
+// range profiles: 4 guard + 16 training cells, 12 dB over the local floor.
+func DefaultCFAR() CFAR {
+	return CFAR{Guard: 4, Train: 16, ThresholdFactor: 15.8}
+}
+
+func (c CFAR) validate() error {
+	if c.Guard < 0 {
+		return fmt.Errorf("dsp: CFAR guard cells must be >= 0, got %d", c.Guard)
+	}
+	if c.Train < 1 {
+		return fmt.Errorf("dsp: CFAR training cells must be >= 1, got %d", c.Train)
+	}
+	if c.ThresholdFactor <= 1 {
+		return fmt.Errorf("dsp: CFAR threshold factor must be > 1, got %g", c.ThresholdFactor)
+	}
+	return nil
+}
+
+// Detect returns the refined peaks of every CFAR detection in the power
+// profile x, strongest first. Adjacent detections within minSeparation bins
+// are merged into their strongest member.
+func (c CFAR) Detect(x []float64, minSeparation int) ([]Peak, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if minSeparation < 1 {
+		minSeparation = 1
+	}
+	span := c.Guard + c.Train
+	if len(x) < 2*span+1 {
+		return nil, fmt.Errorf("dsp: CFAR needs at least %d bins, got %d", 2*span+1, len(x))
+	}
+	var hits []int
+	for i := span; i < len(x)-span; i++ {
+		var noise float64
+		n := 0
+		for j := i - span; j < i-c.Guard; j++ {
+			noise += x[j]
+			n++
+		}
+		for j := i + c.Guard + 1; j <= i+span; j++ {
+			noise += x[j]
+			n++
+		}
+		noise /= float64(n)
+		if noise <= 0 {
+			// Degenerate all-zero neighbourhood: any positive energy is a
+			// detection.
+			if x[i] > 0 {
+				hits = append(hits, i)
+			}
+			continue
+		}
+		if x[i] > noise*c.ThresholdFactor {
+			hits = append(hits, i)
+		}
+	}
+	// Keep only local maxima among hits, then merge within minSeparation.
+	var peaks []Peak
+	for _, i := range hits {
+		if i > 0 && i < len(x)-1 && x[i] >= x[i-1] && x[i] >= x[i+1] {
+			peaks = append(peaks, refinePeak(x, i))
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Value > peaks[b].Value })
+	var out []Peak
+	for _, p := range peaks {
+		keep := true
+		for _, o := range out {
+			if abs(p.Index-o.Index) < minSeparation {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// CrossCorrelate returns the full cross-correlation of a against b:
+// out[k] = Σ_n a[n]·b[n−k+len(b)−1], length len(a)+len(b)−1. Lag zero sits
+// at index len(b)−1.
+func CrossCorrelate(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	rev := make([]float64, len(b))
+	for i, v := range b {
+		rev[len(b)-1-i] = v
+	}
+	return Convolve(a, rev)
+}
+
+// BestLag returns the lag (in samples, b relative to a) that maximizes the
+// cross-correlation, with sub-sample parabolic refinement. Positive lag
+// means b is delayed relative to a.
+func BestLag(a, b []float64) float64 {
+	xc := CrossCorrelate(a, b)
+	if len(xc) == 0 {
+		return 0
+	}
+	p := MaxPeak(xc)
+	return float64(len(b)-1) - p.Position
+}

@@ -1,0 +1,152 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCFARDetectsTargetsInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1024
+	x := make([]float64, n)
+	for i := range x {
+		// Exponentially-distributed power floor (|CN|² noise).
+		x[i] = -math.Log(1 - rng.Float64())
+	}
+	targets := []int{150, 400, 700}
+	for _, b := range targets {
+		x[b] += 200
+		x[b-1] += 80
+		x[b+1] += 80
+	}
+	peaks, err := DefaultCFAR().Detect(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != len(targets) {
+		t.Fatalf("detected %d targets, want %d: %+v", len(peaks), len(targets), peaks)
+	}
+	found := map[int]bool{}
+	for _, p := range peaks {
+		for _, b := range targets {
+			if abs(p.Index-b) <= 1 {
+				found[b] = true
+			}
+		}
+	}
+	if len(found) != len(targets) {
+		t.Fatalf("peaks %v do not cover targets %v", peaks, targets)
+	}
+	// Strongest first.
+	for i := 1; i < len(peaks); i++ {
+		if peaks[i].Value > peaks[i-1].Value {
+			t.Fatal("peaks not sorted by value")
+		}
+	}
+}
+
+func TestCFARFalseAlarmRateLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	falseAlarms := 0
+	const runs = 20
+	for r := 0; r < runs; r++ {
+		x := make([]float64, 2048)
+		for i := range x {
+			x[i] = -math.Log(1 - rng.Float64())
+		}
+		peaks, err := DefaultCFAR().Detect(x, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		falseAlarms += len(peaks)
+	}
+	// 12 dB over a 32-cell average floor: expect well under 1 false alarm
+	// per 2048-bin profile on average.
+	if falseAlarms > runs {
+		t.Fatalf("%d false alarms over %d noise-only profiles", falseAlarms, runs)
+	}
+}
+
+func TestCFARMergesCloseDetections(t *testing.T) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = 1
+	}
+	x[100], x[103] = 300, 200 // two peaks 3 bins apart
+	peaks, err := DefaultCFAR().Detect(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 1 || peaks[0].Index != 100 {
+		t.Fatalf("expected single merged detection at 100, got %+v", peaks)
+	}
+}
+
+func TestCFARValidation(t *testing.T) {
+	bad := []CFAR{
+		{Guard: -1, Train: 8, ThresholdFactor: 10},
+		{Guard: 2, Train: 0, ThresholdFactor: 10},
+		{Guard: 2, Train: 8, ThresholdFactor: 0.5},
+	}
+	for i, c := range bad {
+		if _, err := c.Detect(make([]float64, 100), 4); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+	if _, err := DefaultCFAR().Detect(make([]float64, 10), 4); err == nil {
+		t.Error("too-short profile should fail")
+	}
+}
+
+func TestCFARZeroFloor(t *testing.T) {
+	// All-zero floor with one energetic bin: still detected.
+	x := make([]float64, 256)
+	x[128] = 5
+	peaks, err := DefaultCFAR().Detect(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 1 || peaks[0].Index != 128 {
+		t.Fatalf("zero-floor detection failed: %+v", peaks)
+	}
+}
+
+func TestCrossCorrelateKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 1}
+	// out[k] = sum a[n] b[n-k+1], lags -1..2 -> [1, 3, 5, 3]
+	got := CrossCorrelate(a, b)
+	want := []float64{1, 3, 5, 3}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("xcorr = %v, want %v", got, want)
+		}
+	}
+	if CrossCorrelate(nil, b) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestBestLagRecoversDelay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 512
+	a := make([]float64, n)
+	for i := 100; i < 140; i++ {
+		a[i] = rng.NormFloat64() + 3
+	}
+	for _, delay := range []int{0, 7, 33} {
+		b := make([]float64, n)
+		copy(b[delay:], a[:n-delay])
+		got := BestLag(a, b)
+		if math.Abs(got-float64(delay)) > 0.6 {
+			t.Errorf("delay %d estimated as %g", delay, got)
+		}
+	}
+	if BestLag(nil, nil) != 0 {
+		t.Error("empty BestLag should be 0")
+	}
+}

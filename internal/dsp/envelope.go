@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// HilbertEnvelope returns the magnitude of the analytic signal of x,
+// computed with the FFT method: zero out negative frequencies, double
+// positive ones, inverse transform, take the modulus. It extracts the
+// amplitude envelope the AP reads off the node's modulated beat signal when
+// estimating orientation (§5.2a).
+func HilbertEnvelope(x []float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	m := NextPowerOfTwo(n)
+	buf := make([]complex128, m)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	radix2(buf, false)
+	// Build the analytic spectrum.
+	for k := 1; k < m/2; k++ {
+		buf[k] *= 2
+	}
+	for k := m/2 + 1; k < m; k++ {
+		buf[k] = 0
+	}
+	radix2(buf, true)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = cmplx.Abs(buf[i])
+	}
+	return out
+}
+
+// EnvelopeRC models a diode + RC video filter envelope detector: it
+// rectifies (absolute value or squared input) and then applies a first-order
+// low-pass with the given time constant. It is the behavioural model of the
+// ADL6010 used on the MilBack node, whose rise/fall time limits the maximum
+// downlink data rate to 36 Mbps (§9.4).
+type EnvelopeRC struct {
+	// SampleRate of the input signal in Hz.
+	SampleRate float64
+	// TimeConstant of the video RC filter in seconds.
+	TimeConstant float64
+	// SquareLaw selects square-law detection (output proportional to input
+	// power) instead of linear rectification.
+	SquareLaw bool
+}
+
+// Detect runs the detector over a real signal and returns the video output.
+func (e *EnvelopeRC) Detect(x []float64) []float64 {
+	if e.SampleRate <= 0 || e.TimeConstant <= 0 {
+		panic(fmt.Sprintf("dsp: EnvelopeRC requires positive SampleRate and TimeConstant, got %g, %g",
+			e.SampleRate, e.TimeConstant))
+	}
+	alpha := 1 - math.Exp(-1/(e.SampleRate*e.TimeConstant))
+	out := make([]float64, len(x))
+	var y float64
+	for i, v := range x {
+		r := math.Abs(v)
+		if e.SquareLaw {
+			r = v * v
+		}
+		y += alpha * (r - y)
+		out[i] = y
+	}
+	return out
+}
+
+// DetectPower runs the detector over the instantaneous power of a complex
+// baseband signal (|x|^2 through the RC filter). This is the natural form
+// when the simulation carries complex envelopes instead of passband samples.
+func (e *EnvelopeRC) DetectPower(x []complex128) []float64 {
+	if e.SampleRate <= 0 || e.TimeConstant <= 0 {
+		panic(fmt.Sprintf("dsp: EnvelopeRC requires positive SampleRate and TimeConstant, got %g, %g",
+			e.SampleRate, e.TimeConstant))
+	}
+	alpha := 1 - math.Exp(-1/(e.SampleRate*e.TimeConstant))
+	out := make([]float64, len(x))
+	var y float64
+	for i, v := range x {
+		re, im := real(v), imag(v)
+		p := re*re + im*im
+		y += alpha * (p - y)
+		out[i] = y
+	}
+	return out
+}
+
+// Decimate keeps every k-th sample of x starting at offset, modelling an ADC
+// sampling a faster analog waveform (e.g. the node MCU's 1 MHz ADC reading
+// the detector output).
+func Decimate(x []float64, k, offset int) []float64 {
+	if k <= 0 {
+		panic(fmt.Sprintf("dsp: Decimate factor must be positive, got %d", k))
+	}
+	if offset < 0 {
+		panic(fmt.Sprintf("dsp: Decimate offset must be non-negative, got %d", offset))
+	}
+	var out []float64
+	for i := offset; i < len(x); i += k {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Normalize scales x in place so its maximum absolute value is 1 and
+// returns x. A zero signal is returned unchanged.
+func Normalize(x []float64) []float64 {
+	maxAbs := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return x
+	}
+	for i := range x {
+		x[i] /= maxAbs
+	}
+	return x
+}

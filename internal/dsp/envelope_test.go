@@ -1,0 +1,163 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHilbertEnvelopeOfAMTone(t *testing.T) {
+	// Amplitude-modulated carrier: envelope must track 1 + 0.5 cos(2π fm t).
+	fs := 10000.0
+	fc := 1000.0
+	fm := 50.0
+	n := 2048
+	x := make([]float64, n)
+	want := make([]float64, n)
+	for i := range x {
+		ts := float64(i) / fs
+		env := 1 + 0.5*math.Cos(2*math.Pi*fm*ts)
+		x[i] = env * math.Cos(2*math.Pi*fc*ts)
+		want[i] = env
+	}
+	got := HilbertEnvelope(x)
+	// Ignore edges (FFT-based Hilbert has edge effects).
+	for i := 200; i < n-200; i++ {
+		if math.Abs(got[i]-want[i]) > 0.05 {
+			t.Fatalf("envelope[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if HilbertEnvelope(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestEnvelopeRCStepResponse(t *testing.T) {
+	fs := 1e6
+	tau := 10e-6
+	det := &EnvelopeRC{SampleRate: fs, TimeConstant: tau}
+	n := 200
+	x := make([]float64, n)
+	for i := 50; i < n; i++ {
+		x[i] = 1
+	}
+	y := det.Detect(x)
+	// Before the step the output is 0.
+	if y[49] != 0 {
+		t.Fatalf("output before step = %g", y[49])
+	}
+	// After one time constant (10 samples) the output reaches ~63%.
+	got := y[50+10]
+	if got < 0.55 || got > 0.72 {
+		t.Fatalf("step response after 1 tau = %g, want ~0.63", got)
+	}
+	// Eventually settles near 1.
+	if y[n-1] < 0.95 {
+		t.Fatalf("settled output = %g, want ~1", y[n-1])
+	}
+}
+
+func TestEnvelopeRCSquareLaw(t *testing.T) {
+	fs := 1e6
+	det := &EnvelopeRC{SampleRate: fs, TimeConstant: 1e-6, SquareLaw: true}
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 2 // constant amplitude 2 -> power 4
+	}
+	y := det.Detect(x)
+	if got := y[len(y)-1]; math.Abs(got-4) > 0.1 {
+		t.Fatalf("square-law settled output = %g, want ~4", got)
+	}
+}
+
+func TestEnvelopeRCDetectPower(t *testing.T) {
+	det := &EnvelopeRC{SampleRate: 1e6, TimeConstant: 1e-6}
+	x := make([]complex128, 100)
+	for i := range x {
+		x[i] = 3 + 4i // |x|^2 = 25
+	}
+	y := det.DetectPower(x)
+	if got := y[len(y)-1]; math.Abs(got-25) > 0.5 {
+		t.Fatalf("DetectPower settled = %g, want ~25", got)
+	}
+}
+
+func TestEnvelopeRCValidation(t *testing.T) {
+	det := &EnvelopeRC{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-config detector did not panic")
+		}
+	}()
+	det.Detect([]float64{1})
+}
+
+func TestEnvelopeRCTracksFastVsSlow(t *testing.T) {
+	// A slow detector cannot follow fast on-off keying: its output swing is
+	// smaller than a fast detector's. This is the rise/fall-time limit that
+	// caps MilBack's downlink at 36 Mbps.
+	fs := 1e9
+	bit := 28 // samples per bit at ~36 Mbps
+	n := bit * 16
+	x := make([]float64, n)
+	for i := range x {
+		if (i/bit)%2 == 0 {
+			x[i] = 1
+		}
+	}
+	fast := (&EnvelopeRC{SampleRate: fs, TimeConstant: 2e-9}).Detect(x)
+	slow := (&EnvelopeRC{SampleRate: fs, TimeConstant: 100e-9}).Detect(x)
+	swing := func(y []float64) float64 {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range y[n/2:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		return hi - lo
+	}
+	if swing(fast) < 0.8 {
+		t.Fatalf("fast detector swing = %g, want > 0.8", swing(fast))
+	}
+	if swing(slow) > 0.5*swing(fast) {
+		t.Fatalf("slow detector swing %g should be well below fast %g", swing(slow), swing(fast))
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	y := Decimate(x, 3, 1)
+	want := []float64{1, 4, 7}
+	if len(y) != len(want) {
+		t.Fatalf("Decimate length = %d, want %d", len(y), len(want))
+	}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("Decimate = %v, want %v", y, want)
+		}
+	}
+	for _, f := range []func(){
+		func() { Decimate(x, 0, 0) },
+		func() { Decimate(x, 2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{-4, 2, 1}
+	Normalize(x)
+	if x[0] != -1 || x[1] != 0.5 {
+		t.Fatalf("Normalize = %v", x)
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatal("zero signal should stay zero")
+	}
+}

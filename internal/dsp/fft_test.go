@@ -1,0 +1,268 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// dftReference is a direct O(n^2) DFT used as the ground truth for FFT tests.
+func dftReference(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for i := 0; i < n; i++ {
+			ph := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			s, c := math.Sincos(ph)
+			acc += x[i] * complex(c, s)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func randomComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesDFTReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 17, 31, 32, 100, 128, 255, 256, 360} {
+		x := randomComplex(rng, n)
+		got := FFT(x)
+		want := dftReference(x)
+		if e := maxErr(got, want); e > 1e-8*float64(n) {
+			t.Errorf("n=%d: FFT deviates from reference DFT by %g", n, e)
+		}
+	}
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if got := FFT(nil); len(got) != 0 {
+		t.Fatalf("FFT(nil) = %v, want empty", got)
+	}
+	x := []complex128{3 + 4i}
+	got := FFT(x)
+	if got[0] != x[0] {
+		t.Fatalf("FFT of single sample = %v, want %v", got[0], x[0])
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 8, 60, 64, 100, 1000, 1024} {
+		x := randomComplex(rng, n)
+		y := IFFT(FFT(x))
+		if e := maxErr(x, y); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: IFFT(FFT(x)) deviates from x by %g", n, e)
+		}
+	}
+}
+
+func TestFFTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 1 + int(sizeSel)%300
+		r := rand.New(rand.NewSource(seed))
+		x := randomComplex(r, n)
+		y := IFFT(FFT(x))
+		return maxErr(x, y) < 1e-8*float64(n)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// sum |x|^2 == (1/N) sum |X|^2 for any signal.
+	f := func(seed int64, sizeSel uint8) bool {
+		n := 1 + int(sizeSel)%200
+		r := rand.New(rand.NewSource(seed))
+		x := randomComplex(r, n)
+		X := FFT(x)
+		var et, ef float64
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		for _, v := range X {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		ef /= float64(n)
+		return math.Abs(et-ef) <= 1e-7*(1+et)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 96
+	a := randomComplex(rng, n)
+	b := randomComplex(rng, n)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3i*b[i]
+	}
+	fa, fb, fs := FFT(a), FFT(b), FFT(sum)
+	for i := range fs {
+		want := 2*fa[i] + 3i*fb[i]
+		if cmplx.Abs(fs[i]-want) > 1e-8 {
+			t.Fatalf("bin %d: linearity violated: got %v want %v", i, fs[i], want)
+		}
+	}
+}
+
+func TestFFTSingleToneBin(t *testing.T) {
+	// A pure complex exponential at bin k must concentrate all energy there.
+	n := 256
+	k := 37
+	x := make([]complex128, n)
+	for i := range x {
+		ph := 2 * math.Pi * float64(k) * float64(i) / float64(n)
+		s, c := math.Sincos(ph)
+		x[i] = complex(c, s)
+	}
+	X := FFT(x)
+	for i := range X {
+		mag := cmplx.Abs(X[i])
+		if i == k {
+			if math.Abs(mag-float64(n)) > 1e-8 {
+				t.Fatalf("bin %d magnitude = %g, want %d", k, mag, n)
+			}
+		} else if mag > 1e-7 {
+			t.Fatalf("bin %d magnitude = %g, want ~0", i, mag)
+		}
+	}
+}
+
+func TestFFTInPlacePanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFTInPlace(len 3) did not panic")
+		}
+	}()
+	FFTInPlace(make([]complex128, 3))
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextPowerOfTwo(0) did not panic")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	// Odd length: zero bin moves to the middle.
+	x5 := []complex128{0, 1, 2, 3, 4}
+	got5 := FFTShift(x5)
+	want5 := []complex128{3, 4, 0, 1, 2}
+	for i := range want5 {
+		if got5[i] != want5[i] {
+			t.Fatalf("FFTShift odd = %v, want %v", got5, want5)
+		}
+	}
+}
+
+func TestBinFrequency(t *testing.T) {
+	fs := 1000.0
+	n := 100
+	if got := BinFrequency(0, n, fs); got != 0 {
+		t.Errorf("bin 0 = %g, want 0", got)
+	}
+	if got := BinFrequency(10, n, fs); math.Abs(got-100) > 1e-12 {
+		t.Errorf("bin 10 = %g, want 100", got)
+	}
+	if got := BinFrequency(99, n, fs); math.Abs(got+10) > 1e-12 {
+		t.Errorf("bin 99 = %g, want -10", got)
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	X := FFTReal(x)
+	for _, k := range []int{0, 1, 17, 63} {
+		g := Goertzel(x, float64(k)/float64(n))
+		if cmplx.Abs(g-X[k]) > 1e-7 {
+			t.Errorf("Goertzel bin %d = %v, FFT bin = %v", k, g, X[k])
+		}
+	}
+}
+
+func TestGoertzelPowerOfPureTone(t *testing.T) {
+	n := 1000
+	amp := 0.7
+	f := 0.05 // cycles/sample, exactly 50 cycles over the window
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amp * math.Cos(2*math.Pi*f*float64(i))
+	}
+	p := GoertzelPower(x, f)
+	// A real cosine splits power between +f and -f: the single-bin estimate
+	// sees amplitude amp/2, so power (amp/2)^2.
+	want := amp * amp / 4
+	if math.Abs(p-want) > 1e-6 {
+		t.Fatalf("GoertzelPower = %g, want %g", p, want)
+	}
+	if GoertzelPower(nil, f) != 0 {
+		t.Fatal("GoertzelPower of empty signal should be 0")
+	}
+}
+
+func TestMagnitudesAndPowerSpectrum(t *testing.T) {
+	x := []complex128{3 + 4i, -5, 0}
+	mags := Magnitudes(x)
+	pows := PowerSpectrum(x)
+	wantM := []float64{5, 5, 0}
+	wantP := []float64{25, 25, 0}
+	for i := range x {
+		if math.Abs(mags[i]-wantM[i]) > 1e-12 {
+			t.Errorf("magnitude[%d] = %g, want %g", i, mags[i], wantM[i])
+		}
+		if math.Abs(pows[i]-wantP[i]) > 1e-12 {
+			t.Errorf("power[%d] = %g, want %g", i, pows[i], wantP[i])
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLowPassFIRResponse(t *testing.T) {
+	fs := 1000.0
+	fir := LowPassFIR(101, 100, fs)
+	if g := fir.GainAt(0, fs); math.Abs(g-1) > 1e-6 {
+		t.Errorf("DC gain = %g, want 1", g)
+	}
+	if g := fir.GainAt(10, fs); math.Abs(g-1) > 0.01 {
+		t.Errorf("passband gain at 10 Hz = %g, want ~1", g)
+	}
+	if g := fir.GainAt(300, fs); g > 0.01 {
+		t.Errorf("stopband gain at 300 Hz = %g, want < 0.01", g)
+	}
+	if g := fir.GainAt(450, fs); g > 0.01 {
+		t.Errorf("stopband gain at 450 Hz = %g, want < 0.01", g)
+	}
+}
+
+func TestHighPassFIRResponse(t *testing.T) {
+	fs := 1000.0
+	fir := HighPassFIR(101, 100, fs)
+	if g := fir.GainAt(0, fs); g > 1e-6 {
+		t.Errorf("DC gain = %g, want ~0", g)
+	}
+	if g := fir.GainAt(5, fs); g > 0.02 {
+		t.Errorf("gain at 5 Hz = %g, want near 0", g)
+	}
+	if g := fir.GainAt(300, fs); math.Abs(g-1) > 0.01 {
+		t.Errorf("passband gain at 300 Hz = %g, want ~1", g)
+	}
+}
+
+func TestBandPassFIRResponse(t *testing.T) {
+	fs := 1000.0
+	fir := BandPassFIR(201, 100, 200, fs)
+	if g := fir.GainAt(150, fs); math.Abs(g-1) > 0.01 {
+		t.Errorf("centre gain = %g, want 1", g)
+	}
+	if g := fir.GainAt(10, fs); g > 0.01 {
+		t.Errorf("low stopband gain = %g", g)
+	}
+	if g := fir.GainAt(400, fs); g > 0.01 {
+		t.Errorf("high stopband gain = %g", g)
+	}
+}
+
+func TestHighPassRemovesDCKeepsTone(t *testing.T) {
+	// This mirrors the AP receive chain: a large DC term (self-interference
+	// after the mixer) plus a small baseband tone (the node's response).
+	fs := 100e6
+	fir := HighPassFIR(301, 0.23e6, fs) // ZFHP-0R23-S+ analogue
+	n := 4096
+	tone := 5e6
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 10 + 0.1*math.Cos(2*math.Pi*tone*float64(i)/fs)
+	}
+	y := fir.Filter(x)
+	// Skip the transient, then measure residual DC and tone amplitude.
+	settled := y[len(fir.Taps):]
+	if dc := math.Abs(Mean(settled)); dc > 0.01 {
+		t.Errorf("residual DC after high-pass = %g, want < 0.01", dc)
+	}
+	p := GoertzelPower(settled, tone/fs)
+	wantP := 0.05 * 0.05 // amplitude 0.1 cosine -> single-sided amp 0.05
+	if math.Abs(p-wantP)/wantP > 0.1 {
+		t.Errorf("tone power after high-pass = %g, want ~%g", p, wantP)
+	}
+}
+
+func TestFIRDesignValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("even taps", func() { LowPassFIR(100, 10, 1000) })
+	mustPanic("cutoff above nyquist", func() { LowPassFIR(101, 600, 1000) })
+	mustPanic("zero cutoff", func() { HighPassFIR(101, 0, 1000) })
+	mustPanic("inverted band", func() { BandPassFIR(101, 200, 100, 1000) })
+	mustPanic("negative fs", func() { LowPassFIR(101, 10, -1) })
+}
+
+func TestFilterImpulseResponse(t *testing.T) {
+	fir := &FIR{Taps: []float64{0.25, 0.5, 0.25}}
+	x := make([]float64, 8)
+	x[0] = 1
+	y := fir.Filter(x)
+	want := []float64{0.25, 0.5, 0.25, 0, 0, 0, 0, 0}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-15 {
+			t.Fatalf("impulse response = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestFilterComplexMatchesRealOnRealInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fir := LowPassFIR(31, 100, 1000)
+	n := 200
+	xr := make([]float64, n)
+	xc := make([]complex128, n)
+	for i := range xr {
+		v := rng.NormFloat64()
+		xr[i] = v
+		xc[i] = complex(v, 0)
+	}
+	yr := fir.Filter(xr)
+	yc := fir.FilterComplex(xc)
+	for i := range yr {
+		if math.Abs(yr[i]-real(yc[i])) > 1e-12 || math.Abs(imag(yc[i])) > 1e-12 {
+			t.Fatalf("complex/real filter mismatch at %d", i)
+		}
+	}
+}
+
+func TestFilterCompensatedAlignsPeak(t *testing.T) {
+	fs := 1000.0
+	fir := LowPassFIR(51, 200, fs)
+	n := 300
+	x := make([]float64, n)
+	x[150] = 1 // impulse in the middle
+	y := fir.FilterCompensated(x)
+	if got := ArgMax(y); got != 150 {
+		t.Fatalf("compensated peak at %d, want 150", got)
+	}
+}
+
+func TestGroupDelay(t *testing.T) {
+	fir := LowPassFIR(51, 100, 1000)
+	if d := fir.GroupDelay(); d != 25 {
+		t.Fatalf("group delay = %g, want 25", d)
+	}
+	if n := fir.NumTaps(); n != 51 {
+		t.Fatalf("NumTaps = %d, want 51", n)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	x := []float64{1, 1, 1, 1, 5, 5, 5, 5}
+	y := MovingAverage(x, 4)
+	if math.Abs(y[3]-1) > 1e-12 {
+		t.Errorf("y[3] = %g, want 1", y[3])
+	}
+	if math.Abs(y[7]-5) > 1e-12 {
+		t.Errorf("y[7] = %g, want 5", y[7])
+	}
+	// Leading partial windows average only available samples.
+	if math.Abs(y[0]-1) > 1e-12 {
+		t.Errorf("y[0] = %g, want 1", y[0])
+	}
+	if math.Abs(y[4]-2) > 1e-12 { // (1+1+1+5)/4
+		t.Errorf("y[4] = %g, want 2", y[4])
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{0, 1, 0.5}
+	got := Convolve(a, b)
+	want := []float64{0, 1, 2.5, 4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("Convolve length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Convolve = %v, want %v", got, want)
+		}
+	}
+	if Convolve(nil, b) != nil {
+		t.Fatal("Convolve with empty input should be nil")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, wf := range map[string]WindowFunc{
+		"rect": Rectangular, "hann": Hann, "hamming": Hamming,
+		"blackman": Blackman, "blackman-harris": BlackmanHarris,
+	} {
+		w := wf(64)
+		if len(w) != 64 {
+			t.Errorf("%s: length %d", name, len(w))
+		}
+		for i, v := range w {
+			if v < -1e-6 || v > 1+1e-9 {
+				t.Errorf("%s: w[%d]=%g outside [0,1]", name, i, v)
+			}
+		}
+		// Symmetric windows.
+		for i := 0; i < 32; i++ {
+			if math.Abs(w[i]-w[63-i]) > 1e-12 {
+				t.Errorf("%s: not symmetric at %d", name, i)
+			}
+		}
+		if len(wf(1)) != 1 || wf(1)[0] != 1 {
+			t.Errorf("%s: single-point window should be {1}", name)
+		}
+	}
+	// Hann endpoints are zero; Hamming endpoints are 0.08.
+	h := Hann(65)
+	if math.Abs(h[0]) > 1e-12 {
+		t.Errorf("Hann endpoint = %g, want 0", h[0])
+	}
+	hm := Hamming(65)
+	if math.Abs(hm[0]-0.08) > 1e-12 {
+		t.Errorf("Hamming endpoint = %g, want 0.08", hm[0])
+	}
+	// Peak of odd-length windows is at the centre and equals ~1.
+	if math.Abs(h[32]-1) > 1e-12 {
+		t.Errorf("Hann centre = %g, want 1", h[32])
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	w := []float64{0, 0.5, 0.5, 0}
+	y := ApplyWindow(x, w)
+	if y[0] != 0 || y[1] != 0.5 {
+		t.Fatalf("ApplyWindow = %v", y)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	ApplyWindow(make([]complex128, 3), w)
+}
+
+func TestCoherentGain(t *testing.T) {
+	if g := CoherentGain(Rectangular(100)); math.Abs(g-1) > 1e-12 {
+		t.Errorf("rectangular coherent gain = %g, want 1", g)
+	}
+	if g := CoherentGain(Hann(10001)); math.Abs(g-0.5) > 1e-3 {
+		t.Errorf("Hann coherent gain = %g, want ~0.5", g)
+	}
+	if g := CoherentGain(nil); g != 0 {
+		t.Errorf("empty coherent gain = %g, want 0", g)
+	}
+}

@@ -1,0 +1,95 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// InterpolateLinear evaluates x at a fractional sample position by linear
+// interpolation, clamping outside the support.
+func InterpolateLinear(x []float64, pos float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if pos <= 0 {
+		return x[0]
+	}
+	if pos >= float64(len(x)-1) {
+		return x[len(x)-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return x[i]*(1-frac) + x[i+1]*frac
+}
+
+// InterpolateSinc evaluates x at a fractional position with a Hann-windowed
+// sinc kernel of half-width `taps` samples — the bandlimited interpolator a
+// fractional-delay stage needs. Positions near the edges fall back to the
+// available support.
+func InterpolateSinc(x []float64, pos float64, taps int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	if taps < 1 {
+		panic(fmt.Sprintf("dsp: sinc taps must be >= 1, got %d", taps))
+	}
+	if pos <= 0 {
+		return x[0]
+	}
+	if pos >= float64(len(x)-1) {
+		return x[len(x)-1]
+	}
+	center := int(math.Floor(pos))
+	var acc, wsum float64
+	for k := center - taps + 1; k <= center+taps; k++ {
+		if k < 0 || k >= len(x) {
+			continue
+		}
+		d := pos - float64(k)
+		// Hann window over the kernel support width.
+		w := 0.5 * (1 + math.Cos(math.Pi*d/float64(taps)))
+		if math.Abs(d) > float64(taps) {
+			continue
+		}
+		s := sinc(math.Pi*d) * w
+		acc += x[k] * s
+		wsum += s
+	}
+	if wsum == 0 {
+		return x[center]
+	}
+	// Normalizing by the kernel sum keeps DC gain exactly 1 even near the
+	// edges of the support.
+	return acc / wsum
+}
+
+// Resample returns x resampled by the given ratio (output rate / input
+// rate) using windowed-sinc interpolation. ratio > 1 upsamples.
+func Resample(x []float64, ratio float64, taps int) []float64 {
+	if ratio <= 0 {
+		panic(fmt.Sprintf("dsp: resample ratio must be positive, got %g", ratio))
+	}
+	if len(x) == 0 {
+		return nil
+	}
+	n := int(math.Round(float64(len(x)) * ratio))
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = InterpolateSinc(x, float64(i)/ratio, taps)
+	}
+	return out
+}
+
+// FractionalDelay shifts x by delay samples (positive = later) using
+// windowed-sinc interpolation, producing a same-length output with
+// edge clamping.
+func FractionalDelay(x []float64, delay float64, taps int) []float64 {
+	out := make([]float64, len(x))
+	for i := range out {
+		out[i] = InterpolateSinc(x, float64(i)-delay, taps)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x (0 for fewer than two
+// samples).
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	s := 0.0
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// RMS returns the root-mean-square of x.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// MeanSquare returns the mean of x[i]^2, i.e. the average power of a
+// real-valued signal.
+func MeanSquare(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return s / float64(len(x))
+}
+
+// MeanSquareComplex returns the average power of a complex signal.
+func MeanSquareComplex(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range x {
+		re, im := real(v), imag(v)
+		s += re*re + im*im
+	}
+	return s / float64(len(x))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of x using linear
+// interpolation between closest ranks. It panics on an empty slice or an
+// out-of-range p. The input is not modified.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		panic("dsp: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("dsp: Percentile p=%g outside [0,100]", p))
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile of x.
+func Median(x []float64) float64 { return Percentile(x, 50) }
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value float64 // sample value
+	P     float64 // cumulative probability in (0, 1]
+}
+
+// EmpiricalCDF returns the empirical CDF of x as sorted (value, probability)
+// pairs, the representation behind plots like the paper's Fig 12b angle
+// error CDF.
+func EmpiricalCDF(x []float64) []CDFPoint {
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	n := float64(len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, P: float64(i+1) / n}
+	}
+	return out
+}
+
+// DB converts a power ratio to decibels. Non-positive ratios map to -Inf.
+func DB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(ratio)
+}
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// AmplitudeDB converts an amplitude (voltage) ratio to decibels.
+func AmplitudeDB(ratio float64) float64 {
+	if ratio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ratio)
+}

@@ -1,0 +1,167 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if v := Variance(x); math.Abs(v-4) > 1e-12 {
+		t.Errorf("Variance = %g, want 4", v)
+	}
+	if s := StdDev(x); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %g, want 2", s)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/short inputs should return 0")
+	}
+}
+
+func TestRMSAndMeanSquare(t *testing.T) {
+	x := []float64{3, -4}
+	if r := RMS(x); math.Abs(r-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMS = %g", r)
+	}
+	if p := MeanSquare(x); math.Abs(p-12.5) > 1e-12 {
+		t.Errorf("MeanSquare = %g, want 12.5", p)
+	}
+	c := []complex128{3 + 4i, 0}
+	if p := MeanSquareComplex(c); math.Abs(p-12.5) > 1e-12 {
+		t.Errorf("MeanSquareComplex = %g, want 12.5", p)
+	}
+	if RMS(nil) != 0 || MeanSquare(nil) != 0 || MeanSquareComplex(nil) != 0 {
+		t.Error("empty power should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(x, 0); p != 1 {
+		t.Errorf("p0 = %g, want 1", p)
+	}
+	if p := Percentile(x, 100); p != 5 {
+		t.Errorf("p100 = %g, want 5", p)
+	}
+	if p := Percentile(x, 50); p != 3 {
+		t.Errorf("p50 = %g, want 3", p)
+	}
+	if p := Percentile(x, 25); p != 2 {
+		t.Errorf("p25 = %g, want 2", p)
+	}
+	if p := Percentile(x, 90); math.Abs(p-4.6) > 1e-12 {
+		t.Errorf("p90 = %g, want 4.6", p)
+	}
+	if p := Percentile([]float64{7}, 90); p != 7 {
+		t.Errorf("single-sample p90 = %g, want 7", p)
+	}
+	// Input must be left unmodified.
+	if x[0] != 5 {
+		t.Error("Percentile modified its input")
+	}
+	if m := Median([]float64{1, 2, 3, 4}); math.Abs(m-2.5) > 1e-12 {
+		t.Errorf("Median = %g, want 2.5", m)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := Percentile(x, p)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	x := []float64{3, 1, 2}
+	cdf := EmpiricalCDF(x)
+	if len(cdf) != 3 {
+		t.Fatalf("CDF length %d", len(cdf))
+	}
+	if cdf[0].Value != 1 || cdf[2].Value != 3 {
+		t.Fatalf("CDF not sorted: %+v", cdf)
+	}
+	if math.Abs(cdf[0].P-1.0/3) > 1e-12 || math.Abs(cdf[2].P-1) > 1e-12 {
+		t.Fatalf("CDF probabilities wrong: %+v", cdf)
+	}
+	// Probabilities are non-decreasing and end at 1 (property).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		c := EmpiricalCDF(y)
+		if !sort.SliceIsSorted(c, func(i, j int) bool { return c[i].Value < c[j].Value }) &&
+			!sort.SliceIsSorted(c, func(i, j int) bool { return c[i].Value <= c[j].Value }) {
+			return false
+		}
+		return math.Abs(c[len(c)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if d := DB(100); math.Abs(d-20) > 1e-12 {
+		t.Errorf("DB(100) = %g, want 20", d)
+	}
+	if d := DB(0); !math.IsInf(d, -1) {
+		t.Errorf("DB(0) = %g, want -Inf", d)
+	}
+	if r := FromDB(30); math.Abs(r-1000) > 1e-9 {
+		t.Errorf("FromDB(30) = %g, want 1000", r)
+	}
+	if d := AmplitudeDB(10); math.Abs(d-20) > 1e-12 {
+		t.Errorf("AmplitudeDB(10) = %g, want 20", d)
+	}
+	if d := AmplitudeDB(-1); !math.IsInf(d, -1) {
+		t.Errorf("AmplitudeDB(-1) = %g, want -Inf", d)
+	}
+	// Round trip property.
+	for _, db := range []float64{-40, -3, 0, 3, 17.5} {
+		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("DB(FromDB(%g)) = %g", db, got)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§9). Each experiment is a pure function of its parameters and
+// a base seed, returning the same rows/series the paper plots; the
+// cmd/milback-experiments binary prints them and bench_test.go wraps each
+// one in a benchmark. The per-experiment index lives in DESIGN.md §3 and the
+// paper-vs-measured record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rfsim"
+)
+
+// defaultSystem builds the standard evaluation setup: the §8 prototype
+// configuration in the §9 indoor scene.
+func defaultSystem() *core.System {
+	return core.MustNewSystem(core.DefaultConfig(), rfsim.DefaultIndoorScene())
+}
+
+// Table is a generic printable result: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the paper's reference values for eyeball comparison.
+	Notes []string
+}
+
+// WriteCSV writes the table as CSV (header row, then data rows; notes as
+// trailing comment lines), for piping into plotting tools.
+func (t Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as a CSV string.
+func (t Table) CSV() string {
+	var b strings.Builder
+	if err := t.WriteCSV(&b); err != nil {
+		// strings.Builder never errors; csv errors only on bad input shapes.
+		panic(err)
+	}
+	return b.String()
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sci formats a float in scientific notation.
+func sci(v float64) string { return fmt.Sprintf("%.1e", v) }

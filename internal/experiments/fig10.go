@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fsa"
+)
+
+// Fig10Series is one beam trace of the dual-port FSA pattern (Fig 10): the
+// gain vs azimuth of one port at one frequency.
+type Fig10Series struct {
+	Port     fsa.Port
+	FreqHz   float64
+	AngleDeg []float64
+	GainDBi  []float64
+	// PeakAngleDeg / PeakGainDBi locate the beam.
+	PeakAngleDeg, PeakGainDBi float64
+}
+
+// Fig10Result is the full dual-port FSA beam pattern.
+type Fig10Result struct {
+	Series []Fig10Series
+}
+
+// Fig10FSAPattern reproduces Fig 10: both ports evaluated at the seven
+// frequencies 26.5…29.5 GHz in 0.5 GHz steps, swept over ±40° in stepDeg
+// increments (the paper plots −40°…40°).
+func Fig10FSAPattern(stepDeg float64) Fig10Result {
+	if stepDeg <= 0 {
+		panic(fmt.Sprintf("experiments: stepDeg must be positive, got %g", stepDeg))
+	}
+	f := fsa.Default()
+	var out Fig10Result
+	for _, p := range []fsa.Port{fsa.PortA, fsa.PortB} {
+		for fHz := 26.5e9; fHz <= 29.5e9+1; fHz += 0.5e9 {
+			s := Fig10Series{Port: p, FreqHz: fHz}
+			s.PeakGainDBi = -1e9
+			for a := -40.0; a <= 40.0+1e-9; a += stepDeg {
+				g := f.GainDBi(p, fHz, a)
+				s.AngleDeg = append(s.AngleDeg, a)
+				s.GainDBi = append(s.GainDBi, g)
+				if g > s.PeakGainDBi {
+					s.PeakGainDBi = g
+					s.PeakAngleDeg = a
+				}
+			}
+			out.Series = append(out.Series, s)
+		}
+	}
+	return out
+}
+
+// Summary renders the Fig 10 peak table (one row per port/frequency).
+func (r Fig10Result) Summary() Table {
+	t := Table{
+		Title:   "Fig 10 — Dual-port FSA beam pattern",
+		Columns: []string{"port", "freq (GHz)", "beam angle (deg)", "peak gain (dBi)"},
+		Notes: []string{
+			"paper: two mirrored beam sets, >10 dBi peaks, ~60° scan over 26.5-29.5 GHz",
+		},
+	}
+	for _, s := range r.Series {
+		t.Rows = append(t.Rows, []string{
+			s.Port.String(), f1(s.FreqHz / 1e9), f1(s.PeakAngleDeg), f1(s.PeakGainDBi),
+		})
+	}
+	return t
+}

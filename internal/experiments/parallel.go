@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachIndex runs fn(0..n-1) concurrently on up to GOMAXPROCS workers.
+// Each index builds its own simulator state and derives its own seeds, so
+// results are identical to a serial run regardless of scheduling — the
+// experiments stay deterministic while the sweeps use every core.
+func forEachIndex(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

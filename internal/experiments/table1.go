@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/node"
+)
+
+// Table1Result is the capability comparison (paper Table 1).
+type Table1Result struct {
+	Systems []baseline.System
+}
+
+// Table1Comparison regenerates the paper's Table 1.
+func Table1Comparison() Table1Result {
+	return Table1Result{Systems: baseline.Table1()}
+}
+
+// Summary renders the Yes/No matrix.
+func (r Table1Result) Summary() Table {
+	t := Table{
+		Title:   "Table 1 — Comparison with state-of-the-art mmWave backscatter systems",
+		Columns: []string{"System", "Uplink", "Localization", "Downlink", "Orientation"},
+		Notes:   []string{"paper: MilBack is the only system with all four capabilities"},
+	}
+	for _, s := range r.Systems {
+		yn := func(b bool) string {
+			if b {
+				return "Yes"
+			}
+			return "No"
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Name, yn(s.Caps.Uplink), yn(s.Caps.Localization), yn(s.Caps.Downlink), yn(s.Caps.Orientation),
+		})
+	}
+	return t
+}
+
+// PowerRow is one operating-mode row of the §9.6 power analysis.
+type PowerRow struct {
+	Mode         string
+	PowerMW      float64
+	BitRateMbps  float64
+	EnergyPerBit float64 // J/bit; 0 when the mode does not carry data
+}
+
+// PowerResult is the §9.6 power-consumption analysis.
+type PowerResult struct {
+	Rows []PowerRow
+	// MmTagEnergyPerBit is the comparison figure (2.4 nJ/bit).
+	MmTagEnergyPerBit float64
+	// MCUPowerMW is the excluded micro-controller power (footnote 3).
+	MCUPowerMW float64
+}
+
+// Sec96Power regenerates the §9.6 numbers from the component power model:
+// 18 mW localization/downlink, 32 mW uplink, 0.5 / 0.8 nJ/bit.
+func Sec96Power() PowerResult {
+	pm := node.DefaultPowerModel()
+	locP := pm.Power(node.ModeLocalization, 10e3)
+	downP := pm.Power(node.ModeDownlink, 0)
+	upP := pm.Power(node.ModeUplink, node.UplinkToggleRate(40e6))
+	return PowerResult{
+		Rows: []PowerRow{
+			{Mode: "localization", PowerMW: locP * 1e3},
+			{Mode: "downlink (36 Mbps)", PowerMW: downP * 1e3, BitRateMbps: 36,
+				EnergyPerBit: node.EnergyPerBit(downP, 36e6)},
+			{Mode: "uplink (40 Mbps)", PowerMW: upP * 1e3, BitRateMbps: 40,
+				EnergyPerBit: node.EnergyPerBit(upP, 40e6)},
+		},
+		MmTagEnergyPerBit: baseline.MmTag().EnergyPerBitJ,
+		MCUPowerMW:        pm.MCUActiveW * 1e3,
+	}
+}
+
+// Summary renders the power table.
+func (r PowerResult) Summary() Table {
+	t := Table{
+		Title:   "§9.6 — Node power consumption and energy efficiency",
+		Columns: []string{"mode", "power (mW)", "rate (Mbps)", "energy (nJ/bit)"},
+		Notes: []string{
+			fmt.Sprintf("paper: 18 mW localization/downlink, 32 mW uplink; 0.5 / 0.8 nJ/bit vs mmTag's %.1f nJ/bit",
+				r.MmTagEnergyPerBit*1e9),
+			fmt.Sprintf("MCU (excluded, footnote 3): %.2f mW", r.MCUPowerMW),
+		},
+	}
+	for _, row := range r.Rows {
+		rate, epb := "-", "-"
+		if row.BitRateMbps > 0 {
+			rate = f1(row.BitRateMbps)
+			epb = f2(row.EnergyPerBit * 1e9)
+		}
+		t.Rows = append(t.Rows, []string{row.Mode, f1(row.PowerMW), rate, epb})
+	}
+	return t
+}

@@ -1,0 +1,317 @@
+// Package fsa models MilBack's dual-port Frequency Scanning Antenna.
+//
+// An FSA is a passive series-fed array whose beam direction is a function of
+// the signal frequency (paper Fig 1). MilBack extends the single-port FSA of
+// prior work with a second port on the opposite end of the feed line, giving
+// two sets of beams whose frequency assignments are mirrors of each other
+// (Fig 3): at frequency f, port A's beam points at angle θ(f) while port B's
+// beam points at −θ(f). Each port terminates in an SPDT switch that selects
+// reflective mode (short to ground: incident energy within the beam is
+// re-radiated back to its arrival direction) or absorptive mode (matched
+// envelope detector: energy is delivered to the port, reflection ≈ 0).
+//
+// The paper's FSA was designed in ANSYS HFSS and fabricated on Rogers
+// substrate; this package is the analytic substitution (DESIGN.md §1):
+// a uniform-array factor around a linear frequency→angle map covering 60°
+// of scan over the 26.5–29.5 GHz band with ≈10° beamwidth and 12.5 dBi
+// peak gain, matching the measured pattern of Fig 10.
+package fsa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rfsim"
+)
+
+// Port identifies one of the FSA's two feed ports.
+type Port int
+
+const (
+	// PortA is the feed at the "low" end of the series feed line.
+	PortA Port = iota
+	// PortB is the feed at the opposite end; its frequency→beam map is the
+	// mirror image of port A's.
+	PortB
+)
+
+// String implements fmt.Stringer.
+func (p Port) String() string {
+	switch p {
+	case PortA:
+		return "A"
+	case PortB:
+		return "B"
+	default:
+		return fmt.Sprintf("Port(%d)", int(p))
+	}
+}
+
+// Mode is the state of a port's SPDT switch (paper Fig 4).
+type Mode int
+
+const (
+	// Reflective: port shorted to the ground plane; the beam re-radiates
+	// incident signals back toward their arrival direction.
+	Reflective Mode = iota
+	// Absorptive: port connected to the 50 Ω envelope detector; incident
+	// signals are delivered to the detector and (almost) nothing reflects.
+	Absorptive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Reflective:
+		return "reflective"
+	case Absorptive:
+		return "absorptive"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config holds the FSA design parameters.
+type Config struct {
+	// FreqLow and FreqHigh bound the operating band in Hz.
+	FreqLow, FreqHigh float64
+	// ScanLowDeg and ScanHighDeg are the beam angles (degrees) port A
+	// produces at FreqLow and FreqHigh respectively. MilBack: −30° to +30°
+	// (60° of scan from 3 GHz of bandwidth, vs the 10 GHz/48° of [37]).
+	ScanLowDeg, ScanHighDeg float64
+	// Elements is the number of radiating elements in the series-fed array.
+	Elements int
+	// ElementGainDBi is the gain of a single radiating element.
+	ElementGainDBi float64
+	// AbsorptionReturnLossDB is how far below the reflective-mode return an
+	// absorptive port's residual reflection sits (positive dB).
+	AbsorptionReturnLossDB float64
+	// BacklobeFloorDBi floors the pattern far from the main lobe.
+	BacklobeFloorDBi float64
+}
+
+// DefaultConfig returns the parameters of MilBack's fabricated FSA:
+// 26.5–29.5 GHz covering 60° of azimuth with >10 dBi beams about 10° wide.
+func DefaultConfig() Config {
+	return Config{
+		FreqLow:                26.5e9,
+		FreqHigh:               29.5e9,
+		ScanLowDeg:             -30,
+		ScanHighDeg:            30,
+		Elements:               14,
+		ElementGainDBi:         1.0,
+		AbsorptionReturnLossDB: 20,
+		BacklobeFloorDBi:       -15,
+	}
+}
+
+func (c Config) validate() error {
+	if c.FreqHigh <= c.FreqLow || c.FreqLow <= 0 {
+		return fmt.Errorf("fsa: invalid band [%g, %g]", c.FreqLow, c.FreqHigh)
+	}
+	if c.ScanHighDeg <= c.ScanLowDeg {
+		return fmt.Errorf("fsa: invalid scan range [%g, %g]", c.ScanLowDeg, c.ScanHighDeg)
+	}
+	if c.Elements < 2 {
+		return fmt.Errorf("fsa: need at least 2 elements, got %d", c.Elements)
+	}
+	if c.AbsorptionReturnLossDB < 0 {
+		return fmt.Errorf("fsa: absorption return loss must be >= 0 dB, got %g", c.AbsorptionReturnLossDB)
+	}
+	return nil
+}
+
+// FSA is a dual-port frequency scanning antenna with per-port switch state.
+// The zero value is not usable; construct with New.
+type FSA struct {
+	cfg   Config
+	modes [2]Mode
+}
+
+// New builds an FSA from the config. It returns an error for inconsistent
+// parameters.
+func New(cfg Config) (*FSA, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &FSA{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configs; it panics on error.
+func MustNew(cfg Config) *FSA {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Default returns an FSA with DefaultConfig, both ports reflective.
+func Default() *FSA { return MustNew(DefaultConfig()) }
+
+// Config returns the design parameters.
+func (f *FSA) Config() Config { return f.cfg }
+
+// CenterFrequency returns the middle of the operating band.
+func (f *FSA) CenterFrequency() float64 { return (f.cfg.FreqLow + f.cfg.FreqHigh) / 2 }
+
+// Bandwidth returns the width of the operating band in Hz.
+func (f *FSA) Bandwidth() float64 { return f.cfg.FreqHigh - f.cfg.FreqLow }
+
+// SetMode sets one port's switch state.
+func (f *FSA) SetMode(p Port, m Mode) {
+	f.modes[f.portIndex(p)] = m
+}
+
+// ModeOf returns a port's current switch state.
+func (f *FSA) ModeOf(p Port) Mode { return f.modes[f.portIndex(p)] }
+
+// SetModes sets both ports at once (A, B).
+func (f *FSA) SetModes(a, b Mode) {
+	f.modes[0] = a
+	f.modes[1] = b
+}
+
+func (f *FSA) portIndex(p Port) int {
+	if p != PortA && p != PortB {
+		panic(fmt.Sprintf("fsa: invalid port %d", int(p)))
+	}
+	return int(p)
+}
+
+// BeamAngleDeg returns the beam direction (degrees, antenna frame) of the
+// given port at frequency fHz. Port A maps the band linearly onto
+// [ScanLowDeg, ScanHighDeg]; port B is the mirror. Frequencies outside the
+// band are clamped to the band edges (the physical array's scan stops at
+// its design limits).
+func (f *FSA) BeamAngleDeg(p Port, fHz float64) float64 {
+	c := f.cfg
+	x := (fHz - c.FreqLow) / (c.FreqHigh - c.FreqLow)
+	if x < 0 {
+		x = 0
+	} else if x > 1 {
+		x = 1
+	}
+	angle := c.ScanLowDeg + x*(c.ScanHighDeg-c.ScanLowDeg)
+	if p == PortB {
+		angle = -angle
+	}
+	f.portIndex(p) // validate port
+	return angle
+}
+
+// FrequencyForAngle inverts BeamAngleDeg: the frequency that steers the
+// given port's beam to angleDeg. Angles outside the scan range are clamped.
+// This is the lookup the AP performs when it converts the node's estimated
+// orientation into the OAQFM carrier pair (§6.1).
+func (f *FSA) FrequencyForAngle(p Port, angleDeg float64) float64 {
+	c := f.cfg
+	if p == PortB {
+		angleDeg = -angleDeg
+	} else {
+		f.portIndex(p)
+	}
+	x := (angleDeg - c.ScanLowDeg) / (c.ScanHighDeg - c.ScanLowDeg)
+	if x < 0 {
+		x = 0
+	} else if x > 1 {
+		x = 1
+	}
+	return c.FreqLow + x*(c.FreqHigh-c.FreqLow)
+}
+
+// PeakGainDBi returns the boresight gain of one beam:
+// 10 log10(N) + element gain.
+func (f *FSA) PeakGainDBi() float64 {
+	return 10*math.Log10(float64(f.cfg.Elements)) + f.cfg.ElementGainDBi
+}
+
+// GainDBi returns the gain (dBi) of the given port at frequency fHz toward
+// direction angleDeg in the antenna frame. The pattern is an
+// amplitude-tapered linear-array factor centred on the port's beam angle for
+// that frequency, floored at the backlobe level. Series-fed microstrip FSAs
+// are naturally amplitude-tapered (each element couples off a fraction of
+// the travelling wave), which keeps sidelobes well below the uniform-array
+// −13 dB — the isolation that makes OAQFM's per-port tone separation work.
+func (f *FSA) GainDBi(p Port, fHz, angleDeg float64) float64 {
+	beam := f.BeamAngleDeg(p, fHz)
+	// ψ = k·d·(sinθ − sinθ_beam) with d = λ/2 ⇒ ψ = π(sinθ − sinθ_beam).
+	psi := math.Pi * (math.Sin(rfsim.DegToRad(angleDeg)) - math.Sin(rfsim.DegToRad(beam)))
+	af := taperedArrayFactor(f.cfg.Elements, psi)
+	g := f.PeakGainDBi() + 20*math.Log10(af)
+	if g < f.cfg.BacklobeFloorDBi {
+		g = f.cfg.BacklobeFloorDBi
+	}
+	return g
+}
+
+// taperedArrayFactor returns the normalized |Σ w_n exp(jnψ)| magnitude for a
+// raised-cosine (Hamming-weighted) element taper: unity at ψ = 0, first
+// sidelobe ≈ −40 dB, main lobe ≈ 1.5× the uniform width.
+func taperedArrayFactor(n int, psi float64) float64 {
+	var re, im, wsum float64
+	for k := 0; k < n; k++ {
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(k)/float64(n-1))
+		s, c := math.Sincos(psi * float64(k))
+		re += w * c
+		im += w * s
+		wsum += w
+	}
+	af := math.Hypot(re, im) / wsum
+	if af < 1e-9 {
+		af = 1e-9
+	}
+	return af
+}
+
+// HalfPowerBeamwidthDeg estimates the −3 dB beamwidth of a beam near
+// broadside by numeric search.
+func (f *FSA) HalfPowerBeamwidthDeg() float64 {
+	fc := f.CenterFrequency()
+	peak := f.GainDBi(PortA, fc, f.BeamAngleDeg(PortA, fc))
+	target := peak - 3
+	beam := f.BeamAngleDeg(PortA, fc)
+	step := 0.01
+	var width float64
+	for off := step; off < 90; off += step {
+		if f.GainDBi(PortA, fc, beam+off) < target {
+			width = 2 * off
+			break
+		}
+	}
+	return width
+}
+
+// ReflectionGainDBi returns the effective round-trip gain (dBi², expressed
+// in dB) that the given port contributes to a backscatter path for a signal
+// at frequency fHz arriving from angleDeg: the aperture gain counts once on
+// receive and once on re-radiation. Absorptive ports reflect only the
+// residual return loss.
+func (f *FSA) ReflectionGainDBi(p Port, fHz, angleDeg float64) float64 {
+	g := 2 * f.GainDBi(p, fHz, angleDeg)
+	if f.ModeOf(p) == Absorptive {
+		g -= f.cfg.AbsorptionReturnLossDB
+	}
+	return g
+}
+
+// ReflectionAmplitude returns the total linear *voltage* reflection factor
+// of the whole FSA (both ports) for a signal at fHz from angleDeg, relative
+// to an ideal isotropic 0 dBi² reflector. The two ports' contributions add
+// in amplitude (they share the aperture coherently).
+func (f *FSA) ReflectionAmplitude(fHz, angleDeg float64) float64 {
+	aA := math.Pow(10, f.ReflectionGainDBi(PortA, fHz, angleDeg)/20)
+	aB := math.Pow(10, f.ReflectionGainDBi(PortB, fHz, angleDeg)/20)
+	return aA + aB
+}
+
+// PortCouplingDBi returns the gain with which a signal at fHz arriving from
+// angleDeg is delivered *into* the given port when that port is absorptive.
+// A reflective port delivers nothing to its detector (the switch shorts it
+// to ground), reported as -Inf.
+func (f *FSA) PortCouplingDBi(p Port, fHz, angleDeg float64) float64 {
+	if f.ModeOf(p) == Reflective {
+		return math.Inf(-1)
+	}
+	return f.GainDBi(p, fHz, angleDeg)
+}

@@ -1,0 +1,72 @@
+package fsa
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// PortImpedanceOhms is the FSA feed-line characteristic impedance. The
+// ADL6010 envelope detector was chosen precisely because its 50 Ω input
+// matches it (§4 of the paper: "the envelope detector has a 50 ohm input
+// impedance which is matched with the impedance of the FSA's port").
+const PortImpedanceOhms = 50.0
+
+// PortLoad returns the complex load impedance a port presents to the feed
+// line in the given mode:
+//
+//   - Reflective: the SPDT shorts the port to the ground plane — ideally
+//     0 Ω, total reflection (|Γ| = 1).
+//   - Absorptive: the detector's input — nearly 50 Ω, with the small real
+//     mismatch implied by the configured absorption return loss.
+func (f *FSA) PortLoad(m Mode) complex128 {
+	switch m {
+	case Reflective:
+		return 0
+	case Absorptive:
+		gamma := math.Pow(10, -f.cfg.AbsorptionReturnLossDB/20)
+		// Solve Γ = (Z − Z0)/(Z + Z0) for a real Z > Z0.
+		z := PortImpedanceOhms * (1 + gamma) / (1 - gamma)
+		return complex(z, 0)
+	default:
+		panic(fmt.Sprintf("fsa: unknown mode %d", int(m)))
+	}
+}
+
+// ReflectionCoefficient returns Γ = (Zl − Z0)/(Zl + Z0) for a port in the
+// given mode.
+func (f *FSA) ReflectionCoefficient(m Mode) complex128 {
+	zl := f.PortLoad(m)
+	return (zl - PortImpedanceOhms) / (zl + PortImpedanceOhms)
+}
+
+// ReturnLossDB returns the port's return loss −20·log10|Γ| in the given
+// mode: 0 dB when reflective (everything comes back), the configured
+// absorption return loss when terminated into the detector.
+func (f *FSA) ReturnLossDB(m Mode) float64 {
+	g := cmplx.Abs(f.ReflectionCoefficient(m))
+	if g <= 0 {
+		return math.Inf(1)
+	}
+	return -20 * math.Log10(g)
+}
+
+// VSWR returns the port's voltage standing-wave ratio in the given mode
+// ((1+|Γ|)/(1−|Γ|)); +Inf for a total reflection.
+func (f *FSA) VSWR(m Mode) float64 {
+	g := cmplx.Abs(f.ReflectionCoefficient(m))
+	if g >= 1 {
+		return math.Inf(1)
+	}
+	return (1 + g) / (1 - g)
+}
+
+// AbsorbedFraction returns the share of incident power a port delivers to
+// its load in the given mode: 1 − |Γ|². Absorptive mode delivers nearly
+// everything to the detector (which is what makes downlink reception work);
+// reflective mode delivers nothing (it all re-radiates, which is what makes
+// backscatter work).
+func (f *FSA) AbsorbedFraction(m Mode) float64 {
+	g := cmplx.Abs(f.ReflectionCoefficient(m))
+	return 1 - g*g
+}

@@ -1,0 +1,79 @@
+package fsa
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestPortLoadReflective(t *testing.T) {
+	f := Default()
+	if z := f.PortLoad(Reflective); z != 0 {
+		t.Errorf("reflective load = %v, want short (0 Ω)", z)
+	}
+	g := f.ReflectionCoefficient(Reflective)
+	if cmplx.Abs(g-(-1)) > 1e-12 {
+		t.Errorf("reflective Γ = %v, want −1", g)
+	}
+	if rl := f.ReturnLossDB(Reflective); math.Abs(rl) > 1e-9 {
+		t.Errorf("reflective return loss = %g dB, want 0", rl)
+	}
+	if !math.IsInf(f.VSWR(Reflective), 1) {
+		t.Error("reflective VSWR should be infinite")
+	}
+	if a := f.AbsorbedFraction(Reflective); math.Abs(a) > 1e-12 {
+		t.Errorf("reflective absorbed fraction = %g, want 0", a)
+	}
+}
+
+func TestPortLoadAbsorptive(t *testing.T) {
+	f := Default()
+	z := f.PortLoad(Absorptive)
+	// Near 50 Ω: a 20 dB return loss implies |Γ| = 0.1 ⇒ Z ≈ 61.1 Ω.
+	if math.Abs(real(z)-61.1) > 0.1 || imag(z) != 0 {
+		t.Errorf("absorptive load = %v, want ~61.1 Ω", z)
+	}
+	// The derived return loss must round-trip to the configured value.
+	if rl := f.ReturnLossDB(Absorptive); math.Abs(rl-f.Config().AbsorptionReturnLossDB) > 1e-9 {
+		t.Errorf("return loss = %g dB, want %g", rl, f.Config().AbsorptionReturnLossDB)
+	}
+	// VSWR for |Γ| = 0.1 is 1.222.
+	if v := f.VSWR(Absorptive); math.Abs(v-1.2222) > 1e-3 {
+		t.Errorf("VSWR = %g, want 1.22", v)
+	}
+	// 99% of incident power reaches the detector.
+	if a := f.AbsorbedFraction(Absorptive); math.Abs(a-0.99) > 1e-9 {
+		t.Errorf("absorbed fraction = %g, want 0.99", a)
+	}
+}
+
+func TestImpedanceConsistencyAcrossConfigs(t *testing.T) {
+	for _, rl := range []float64{10, 15, 20, 30} {
+		cfg := DefaultConfig()
+		cfg.AbsorptionReturnLossDB = rl
+		f := MustNew(cfg)
+		if got := f.ReturnLossDB(Absorptive); math.Abs(got-rl) > 1e-9 {
+			t.Errorf("rl=%g: derived %g", rl, got)
+		}
+		// Better match ⇒ more absorbed power, monotonically.
+		if rl > 10 {
+			worse := MustNew(DefaultConfig())
+			worseCfg := worse.Config()
+			worseCfg.AbsorptionReturnLossDB = rl - 5
+			w := MustNew(worseCfg)
+			if f.AbsorbedFraction(Absorptive) <= w.AbsorbedFraction(Absorptive) {
+				t.Errorf("rl=%g: absorbed fraction not monotone in match quality", rl)
+			}
+		}
+	}
+}
+
+func TestPortLoadInvalidMode(t *testing.T) {
+	f := Default()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid mode did not panic")
+		}
+	}()
+	f.PortLoad(Mode(9))
+}

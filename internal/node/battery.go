@@ -1,0 +1,86 @@
+package node
+
+import "fmt"
+
+// Battery models the limited energy source that motivates backscatter in
+// the first place (§1: "devices with limited energy sources"). It tracks
+// joules and answers the deployment question the §9.6 numbers exist for:
+// how long does a coin cell last at a given duty cycle?
+type Battery struct {
+	CapacityJ  float64
+	RemainingJ float64
+}
+
+// NewCoinCell returns a CR2032-class cell: 225 mAh at 3 V ≈ 2430 J.
+func NewCoinCell() *Battery {
+	return &Battery{CapacityJ: 2430, RemainingJ: 2430}
+}
+
+// NewBattery returns a battery with the given capacity in joules.
+func NewBattery(capacityJ float64) (*Battery, error) {
+	if capacityJ <= 0 {
+		return nil, fmt.Errorf("node: battery capacity must be positive, got %g", capacityJ)
+	}
+	return &Battery{CapacityJ: capacityJ, RemainingJ: capacityJ}, nil
+}
+
+// Drain removes energy; it fails (leaving the battery untouched) if less
+// than the requested amount remains — the packet that would brown out the
+// node never happens.
+func (b *Battery) Drain(j float64) error {
+	if j < 0 {
+		return fmt.Errorf("node: negative drain %g", j)
+	}
+	if j > b.RemainingJ {
+		return fmt.Errorf("node: battery exhausted (%.3g J left, %.3g J needed)", b.RemainingJ, j)
+	}
+	b.RemainingJ -= j
+	return nil
+}
+
+// Fraction returns the remaining charge in [0, 1].
+func (b *Battery) Fraction() float64 {
+	if b.CapacityJ <= 0 {
+		return 0
+	}
+	return b.RemainingJ / b.CapacityJ
+}
+
+// DutyCycle describes a node's periodic activity pattern for lifetime
+// estimation.
+type DutyCycle struct {
+	// PacketsPerSecond is the exchange rate.
+	PacketsPerSecond float64
+	// PacketEnergyJ is the per-packet node energy (proto.PacketOutcome's
+	// NodeEnergyJ).
+	PacketEnergyJ float64
+	// SleepPowerW is the node's draw between packets (deep-sleep MCU;
+	// the RF front end powers off completely).
+	SleepPowerW float64
+}
+
+// AveragePowerW returns the duty cycle's mean power draw.
+func (d DutyCycle) AveragePowerW() float64 {
+	return d.PacketsPerSecond*d.PacketEnergyJ + d.SleepPowerW
+}
+
+// LifetimeSeconds estimates how long the battery sustains the duty cycle.
+func (b *Battery) LifetimeSeconds(d DutyCycle) (float64, error) {
+	if d.PacketsPerSecond < 0 || d.PacketEnergyJ < 0 || d.SleepPowerW < 0 {
+		return 0, fmt.Errorf("node: negative duty-cycle parameter %+v", d)
+	}
+	p := d.AveragePowerW()
+	if p <= 0 {
+		return 0, fmt.Errorf("node: duty cycle draws no power")
+	}
+	return b.RemainingJ / p, nil
+}
+
+// LifetimeDays is LifetimeSeconds in days.
+func (b *Battery) LifetimeDays(d DutyCycle) (float64, error) {
+	s, err := b.LifetimeSeconds(d)
+	if err != nil {
+		return 0, err
+	}
+	return s / 86400, nil
+}

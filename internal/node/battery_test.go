@@ -1,0 +1,98 @@
+package node
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatteryDrain(t *testing.T) {
+	b := NewCoinCell()
+	if math.Abs(b.CapacityJ-2430) > 1 {
+		t.Errorf("coin cell capacity = %g J", b.CapacityJ)
+	}
+	if b.Fraction() != 1 {
+		t.Errorf("fresh fraction = %g", b.Fraction())
+	}
+	if err := b.Drain(430); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.RemainingJ-2000) > 1e-9 {
+		t.Errorf("remaining = %g", b.RemainingJ)
+	}
+	// Over-drain is refused and leaves the battery untouched.
+	if err := b.Drain(5000); err == nil {
+		t.Fatal("over-drain should fail")
+	}
+	if math.Abs(b.RemainingJ-2000) > 1e-9 {
+		t.Error("failed drain modified the battery")
+	}
+	if err := b.Drain(-1); err == nil {
+		t.Error("negative drain should fail")
+	}
+}
+
+func TestNewBatteryValidation(t *testing.T) {
+	if _, err := NewBattery(0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	b, err := NewBattery(100)
+	if err != nil || b.RemainingJ != 100 {
+		t.Fatalf("NewBattery: %v", err)
+	}
+}
+
+func TestLifetimeEstimates(t *testing.T) {
+	b := NewCoinCell()
+	// A sensornet-style duty cycle: one ~4.3 µJ packet per second plus
+	// 2 µW sleep.
+	d := DutyCycle{PacketsPerSecond: 1, PacketEnergyJ: 4.3e-6, SleepPowerW: 2e-6}
+	if p := d.AveragePowerW(); math.Abs(p-6.3e-6) > 1e-12 {
+		t.Errorf("average power = %g", p)
+	}
+	days, err := b.LifetimeDays(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2430 J / 6.3 µW ≈ 12.2 years.
+	if days < 4000 || days > 5000 {
+		t.Errorf("lifetime = %.0f days, want ~4465 (12 years)", days)
+	}
+	// Faster polling shortens life proportionally.
+	d10 := d
+	d10.PacketsPerSecond = 10
+	days10, err := b.LifetimeDays(d10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days10 >= days/5 {
+		t.Errorf("10x polling lifetime %.0f days should be far below %.0f", days10, days)
+	}
+	// Invalid cycles.
+	if _, err := b.LifetimeSeconds(DutyCycle{PacketsPerSecond: -1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := b.LifetimeSeconds(DutyCycle{}); err == nil {
+		t.Error("zero-power cycle should fail")
+	}
+}
+
+func TestBatteryVersusActiveRadio(t *testing.T) {
+	// The paper's energy argument in one test: a MilBack node at 18 mW duty
+	// cycle outlives an always-on active mmWave radio (~1.5 W) by orders of
+	// magnitude on the same cell.
+	passive := NewCoinCell()
+	active := NewCoinCell()
+	milbackCycle := DutyCycle{PacketsPerSecond: 100, PacketEnergyJ: 4.3e-6, SleepPowerW: 5e-6}
+	activeCycle := DutyCycle{SleepPowerW: 1.5} // always-on phased-array radio
+	pm, err := passive.LifetimeSeconds(milbackCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := active.LifetimeSeconds(activeCycle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm < 1000*am {
+		t.Errorf("MilBack lifetime %.0f s should dwarf active radio %.0f s", pm, am)
+	}
+}

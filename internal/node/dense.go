@@ -1,0 +1,70 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/fsa"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// ReceiveDenseSymbol is the dense-OAQFM (§9.4 extension) counterpart of
+// ReceiveSymbol: the AP scales each tone's amplitude to the symbol's level,
+// and the node's linear envelope detectors read voltages proportional to
+// those amplitudes.
+func (n *Node) ReceiveDenseSymbol(sym waveform.DenseSymbol, scheme waveform.DenseScheme,
+	tones waveform.TonePair, txPowerW, apGainDBi, symbolRateHz float64,
+	ns *rfsim.NoiseSource) (DownlinkReading, error) {
+	if err := scheme.Validate(); err != nil {
+		return DownlinkReading{}, err
+	}
+	if symbolRateHz <= 0 {
+		return DownlinkReading{}, fmt.Errorf("node: non-positive symbol rate %g", symbolRateHz)
+	}
+	if sym.LevelA < 0 || sym.LevelA >= scheme.Levels || sym.LevelB < 0 || sym.LevelB >= scheme.Levels {
+		return DownlinkReading{}, fmt.Errorf("node: symbol level (%d, %d) outside scheme", sym.LevelA, sym.LevelB)
+	}
+	ampA := sym.AmplitudeA(scheme)
+	ampB := sym.AmplitudeB(scheme)
+	// Per-tone transmitted power scales with amplitude².
+	var pa, pb float64
+	if ampA > 0 {
+		p := txPowerW * ampA * ampA
+		pa += n.ReceivedPowerW(fsa.PortA, tones.FA, p, apGainDBi)
+		pb += n.ReceivedPowerW(fsa.PortB, tones.FA, p, apGainDBi)
+	}
+	if ampB > 0 && !tones.Degenerate() {
+		p := txPowerW * ampB * ampB
+		pa += n.ReceivedPowerW(fsa.PortA, tones.FB, p, apGainDBi)
+		pb += n.ReceivedPowerW(fsa.PortB, tones.FB, p, apGainDBi)
+	}
+	va := n.DetA.OutputVolts(pa)
+	vb := n.DetB.OutputVolts(pb)
+	if ns != nil {
+		va += ns.Gaussian(n.DetA.NoiseVrms(symbolRateHz))
+		vb += ns.Gaussian(n.DetB.NoiseVrms(symbolRateHz))
+	}
+	if va < 0 {
+		va = 0
+	}
+	if vb < 0 {
+		vb = 0
+	}
+	return DownlinkReading{VoltsA: va, VoltsB: vb}, nil
+}
+
+// DecodeDense quantizes a reading back into a dense symbol given the
+// measured full-scale (level Levels−1) voltages per port, obtained from a
+// calibration pilot.
+func DecodeDense(r DownlinkReading, fullScaleA, fullScaleB float64, scheme waveform.DenseScheme) (waveform.DenseSymbol, error) {
+	if err := scheme.Validate(); err != nil {
+		return waveform.DenseSymbol{}, err
+	}
+	if fullScaleA <= 0 || fullScaleB <= 0 {
+		return waveform.DenseSymbol{}, fmt.Errorf("node: non-positive full-scale references %g/%g", fullScaleA, fullScaleB)
+	}
+	return waveform.DenseSymbol{
+		LevelA: scheme.QuantizeLevel(r.VoltsA / fullScaleA),
+		LevelB: scheme.QuantizeLevel(r.VoltsB / fullScaleB),
+	}, nil
+}

@@ -1,0 +1,164 @@
+package node
+
+import (
+	"testing"
+
+	"repro/internal/fsa"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+func TestDenseSymbolNoiselessRoundTrip(t *testing.T) {
+	n := testNode(t, 2, -10)
+	n.SetPorts(fsa.Absorptive, fsa.Absorptive)
+	tones := n.TonePairForOrientation(-10)
+	scheme := waveform.DenseScheme{Levels: 4}
+	symRate := 9e6 // 36 Mbps at 4 bits/symbol
+
+	// Full-scale calibration from the top symbol.
+	ref, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{LevelA: 3, LevelB: 3}, scheme, tones, 0.5, 20, symRate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for la := 0; la < 4; la++ {
+		for lb := 0; lb < 4; lb++ {
+			sym := waveform.DenseSymbol{LevelA: la, LevelB: lb}
+			r, err := n.ReceiveDenseSymbol(sym, scheme, tones, 0.5, 20, symRate, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeDense(r, ref.VoltsA, ref.VoltsB, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != sym {
+				t.Errorf("symbol (%d,%d) decoded as (%d,%d)", la, lb, got.LevelA, got.LevelB)
+			}
+		}
+	}
+}
+
+func TestDenseWithNoiseNearRange(t *testing.T) {
+	// At 2 m the SINR comfortably supports 4 levels: expect clean decoding
+	// over many random symbols.
+	n := testNode(t, 2, -10)
+	n.SetPorts(fsa.Absorptive, fsa.Absorptive)
+	tones := n.TonePairForOrientation(-10)
+	scheme := waveform.DenseScheme{Levels: 4}
+	symRate := 9e6
+	ns := rfsim.NewNoiseSource(91)
+	ref, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{LevelA: 3, LevelB: 3}, scheme, tones, 0.5, 20, symRate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		sym := waveform.DenseSymbol{LevelA: i % 4, LevelB: (i / 4) % 4}
+		r, err := n.ReceiveDenseSymbol(sym, scheme, tones, 0.5, 20, symRate, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDense(r, ref.VoltsA, ref.VoltsB, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sym {
+			errs++
+		}
+	}
+	if errs > trials/50 {
+		t.Errorf("%d/%d dense symbol errors at 2 m, want near zero", errs, trials)
+	}
+}
+
+func TestDenseDegradesBeforeBinaryAtRange(t *testing.T) {
+	// The §9.4 trade-off: at a distance where binary OAQFM still decodes,
+	// the 8-level scheme (1/7 level separation) accumulates errors.
+	symErrors := func(levels int, d float64) int {
+		n := testNode(t, d, -10)
+		n.SetPorts(fsa.Absorptive, fsa.Absorptive)
+		tones := n.TonePairForOrientation(-10)
+		scheme := waveform.DenseScheme{Levels: levels}
+		symRate := 9e6
+		ns := rfsim.NewNoiseSource(92)
+		top := waveform.DenseSymbol{LevelA: levels - 1, LevelB: levels - 1}
+		ref, err := n.ReceiveDenseSymbol(top, scheme, tones, 0.5, 20, symRate, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		const trials = 300
+		for i := 0; i < trials; i++ {
+			sym := waveform.DenseSymbol{LevelA: i % levels, LevelB: (i * 7 / 3) % levels}
+			r, err := n.ReceiveDenseSymbol(sym, scheme, tones, 0.5, 20, symRate, ns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeDense(r, ref.VoltsA, ref.VoltsB, scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != sym {
+				errs++
+			}
+		}
+		return errs
+	}
+	d := 8.0
+	binary := symErrors(2, d)
+	dense8 := symErrors(8, d)
+	if dense8 <= binary {
+		t.Errorf("8-level errors (%d) should exceed binary errors (%d) at %g m", dense8, binary, d)
+	}
+	if dense8 == 0 {
+		t.Error("expected visible 8-level errors at 8 m")
+	}
+}
+
+func TestDenseValidation(t *testing.T) {
+	n := testNode(t, 2, -10)
+	tones := n.TonePairForOrientation(-10)
+	good := waveform.DenseScheme{Levels: 4}
+	if _, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{}, waveform.DenseScheme{Levels: 3}, tones, 0.5, 20, 1e6, nil); err == nil {
+		t.Error("bad scheme should fail")
+	}
+	if _, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{LevelA: 9}, good, tones, 0.5, 20, 1e6, nil); err == nil {
+		t.Error("bad level should fail")
+	}
+	if _, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{}, good, tones, 0.5, 20, 0, nil); err == nil {
+		t.Error("bad rate should fail")
+	}
+	if _, err := DecodeDense(DownlinkReading{}, 0, 1, good); err == nil {
+		t.Error("zero full scale should fail")
+	}
+	if _, err := DecodeDense(DownlinkReading{}, 1, 1, waveform.DenseScheme{Levels: 5}); err == nil {
+		t.Error("bad scheme in decode should fail")
+	}
+}
+
+func TestDenseOOKFallbackDegenerate(t *testing.T) {
+	// Degenerate tones: tone B contributes nothing extra; levels on A still
+	// decode (single-carrier multi-level ASK).
+	n := testNode(t, 2, 0)
+	n.SetPorts(fsa.Absorptive, fsa.Absorptive)
+	tones := waveform.TonePair{FA: 28e9, FB: 28e9}
+	scheme := waveform.DenseScheme{Levels: 4}
+	ref, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{LevelA: 3, LevelB: 0}, scheme, tones, 0.5, 20, 1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for la := 0; la < 4; la++ {
+		r, err := n.ReceiveDenseSymbol(waveform.DenseSymbol{LevelA: la}, scheme, tones, 0.5, 20, 1e6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeDense(r, ref.VoltsA, ref.VoltsB, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.LevelA != la {
+			t.Errorf("ASK level %d decoded as %d", la, got.LevelA)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package node
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/fsa"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// This file implements the sampled view of downlink reception: instead of
+// the per-symbol abstraction of ReceiveSymbol, the node's detector output is
+// synthesized as a continuous waveform (with the detector's video-bandwidth
+// dynamics and an unknown symbol-timing offset) and the MCU recovers symbol
+// timing from the transitions before slicing — what real firmware has to do,
+// since nothing tells it where the AP's symbol boundaries fall.
+
+// DownlinkStream is the pair of sampled detector outputs across a burst.
+type DownlinkStream struct {
+	VoltsA, VoltsB []float64
+	// SamplesPerSymbol at the simulation rate.
+	SamplesPerSymbol int
+}
+
+// SynthesizeDownlinkStream renders the detector outputs for a symbol
+// sequence over the given tone pair, oversampled sps× per symbol, with the
+// AP's symbol boundaries offset by timingOffset (in symbols, 0 ≤ off < 1)
+// relative to the node's sampling grid. Detector dynamics and noise apply.
+func (n *Node) SynthesizeDownlinkStream(syms []waveform.Symbol, tones waveform.TonePair,
+	txPowerW, apGainDBi, symbolRate float64, sps int, timingOffset float64,
+	ns *rfsim.NoiseSource) (DownlinkStream, error) {
+	if len(syms) == 0 {
+		return DownlinkStream{}, fmt.Errorf("node: empty symbol stream")
+	}
+	if symbolRate <= 0 || sps < 4 {
+		return DownlinkStream{}, fmt.Errorf("node: invalid stream args rate=%g sps=%d", symbolRate, sps)
+	}
+	if timingOffset < 0 || timingOffset >= 1 {
+		return DownlinkStream{}, fmt.Errorf("node: timing offset %g outside [0, 1)", timingOffset)
+	}
+	fs := symbolRate * float64(sps)
+	total := len(syms) * sps
+	pa := make([]float64, total)
+	pb := make([]float64, total)
+
+	// Per-symbol received powers (computed once per distinct symbol).
+	var powA, powB [4]float64
+	for s := 0; s < 4; s++ {
+		sym := waveform.Symbol(s)
+		var a, b float64
+		if sym.ToneA() || (tones.Degenerate() && sym.ToneB()) {
+			a += n.ReceivedPowerW(fsa.PortA, tones.FA, txPowerW, apGainDBi)
+			b += n.ReceivedPowerW(fsa.PortB, tones.FA, txPowerW, apGainDBi)
+		}
+		if sym.ToneB() && !tones.Degenerate() {
+			a += n.ReceivedPowerW(fsa.PortA, tones.FB, txPowerW, apGainDBi)
+			b += n.ReceivedPowerW(fsa.PortB, tones.FB, txPowerW, apGainDBi)
+		}
+		powA[s], powB[s] = a, b
+	}
+	// Fill sample streams: sample i sits at symbol index
+	// floor((i − off·sps)/sps) of the AP's stream.
+	offSamples := timingOffset * float64(sps)
+	for i := 0; i < total; i++ {
+		k := int(math.Floor((float64(i) - offSamples) / float64(sps)))
+		if k < 0 {
+			k = 0
+		}
+		if k >= len(syms) {
+			k = len(syms) - 1
+		}
+		s := int(syms[k] & 3)
+		pa[i] = powA[s]
+		pb[i] = powB[s]
+	}
+	return DownlinkStream{
+		VoltsA:           n.DetA.DetectSeries(pa, fs, ns),
+		VoltsB:           n.DetB.DetectSeries(pb, fs, ns),
+		SamplesPerSymbol: sps,
+	}, nil
+}
+
+// RecoverSymbolTiming estimates the symbol-boundary phase (in samples,
+// 0 ≤ phase < sps) of an OOK-keyed detector stream by accumulating squared
+// sample-to-sample differences into a modulo-sps histogram: transitions
+// cluster at the boundary phase. Returns the boundary phase with sub-sample
+// parabolic refinement.
+func RecoverSymbolTiming(v []float64, sps int) (float64, error) {
+	if sps < 4 {
+		return 0, fmt.Errorf("node: need >= 4 samples/symbol, got %d", sps)
+	}
+	if len(v) < 4*sps {
+		return 0, fmt.Errorf("node: stream too short for timing recovery (%d samples)", len(v))
+	}
+	profile := make([]float64, sps)
+	for i := 1; i < len(v); i++ {
+		d := v[i] - v[i-1]
+		profile[i%sps] += d * d
+	}
+	total := 0.0
+	for _, p := range profile {
+		total += p
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("node: no transitions visible (flat stream)")
+	}
+	// Circular parabolic refinement around the max bin.
+	i := dsp.ArgMax(profile)
+	a := profile[(i+sps-1)%sps]
+	b := profile[i]
+	c := profile[(i+1)%sps]
+	pos := float64(i)
+	if denom := a - 2*b + c; denom != 0 {
+		delta := 0.5 * (a - c) / denom
+		if delta > 0.5 {
+			delta = 0.5
+		} else if delta < -0.5 {
+			delta = -0.5
+		}
+		pos += delta
+	}
+	return math.Mod(pos+float64(sps), float64(sps)), nil
+}
+
+// DecodeDownlinkStream recovers symbols from a sampled stream: estimate the
+// boundary phase on the stronger branch, slice each symbol at mid-point,
+// threshold per branch using an alternating 11/00 pilot prefix of pilot
+// symbols, and return the payload symbols after the pilot.
+func DecodeDownlinkStream(s DownlinkStream, tones waveform.TonePair, pilot int) ([]waveform.Symbol, error) {
+	sps := s.SamplesPerSymbol
+	if pilot < 2 || pilot%2 != 0 {
+		return nil, fmt.Errorf("node: pilot must be even and >= 2, got %d", pilot)
+	}
+	if len(s.VoltsA) != len(s.VoltsB) || len(s.VoltsA) < (pilot+1)*sps {
+		return nil, fmt.Errorf("node: stream too short (%d samples)", len(s.VoltsA))
+	}
+	// Timing from the branch with more transition energy (tone presence).
+	phaseA, errA := RecoverSymbolTiming(s.VoltsA, sps)
+	phaseB, errB := RecoverSymbolTiming(s.VoltsB, sps)
+	var phase float64
+	switch {
+	case errA == nil && errB == nil:
+		// Average on the circle via vectors.
+		sa, ca := math.Sincos(2 * math.Pi * phaseA / float64(sps))
+		sb, cb := math.Sincos(2 * math.Pi * phaseB / float64(sps))
+		ang := math.Atan2(sa+sb, ca+cb)
+		if ang < 0 {
+			ang += 2 * math.Pi
+		}
+		phase = ang * float64(sps) / (2 * math.Pi)
+	case errA == nil:
+		phase = phaseA
+	case errB == nil:
+		phase = phaseB
+	default:
+		return nil, fmt.Errorf("node: timing recovery failed: %v / %v", errA, errB)
+	}
+	// Integrate-and-dump over the middle half of each symbol (the matched
+	// filter, minus the transition regions the detector's video response
+	// smears).
+	halfWin := sps / 4
+	sampleAt := func(k int) (float64, float64, bool) {
+		mid := int(math.Round(phase + float64(sps)/2 + float64(k)*float64(sps)))
+		lo, hi := mid-halfWin, mid+halfWin
+		if lo < 0 || hi >= len(s.VoltsA) {
+			return 0, 0, false
+		}
+		var va, vb float64
+		for i := lo; i <= hi; i++ {
+			va += s.VoltsA[i]
+			vb += s.VoltsB[i]
+		}
+		w := float64(hi - lo + 1)
+		return va / w, vb / w, true
+	}
+	nSyms := len(s.VoltsA) / sps
+	// Thresholds from the pilot (even = 11, odd = 00).
+	var onA, onB, offA, offB float64
+	cnt := 0
+	for k := 0; k < pilot && k < nSyms; k++ {
+		va, vb, ok := sampleAt(k)
+		if !ok {
+			continue
+		}
+		if k%2 == 0 {
+			onA += va
+			onB += vb
+		} else {
+			offA += va
+			offB += vb
+		}
+		cnt++
+	}
+	if cnt < pilot {
+		return nil, fmt.Errorf("node: pilot samples out of range")
+	}
+	half := float64((pilot + 1) / 2)
+	thrA := (onA/half + offA/half) / 2
+	thrB := (onB/half + offB/half) / 2
+	if thrA <= 0 || thrB <= 0 {
+		return nil, fmt.Errorf("node: pilot produced no signal")
+	}
+	var out []waveform.Symbol
+	for k := pilot; k < nSyms; k++ {
+		va, vb, ok := sampleAt(k)
+		if !ok {
+			break
+		}
+		if tones.Degenerate() {
+			if va > thrA || vb > thrB {
+				out = append(out, waveform.Symbol11)
+			} else {
+				out = append(out, waveform.Symbol00)
+			}
+			continue
+		}
+		out = append(out, waveform.SymbolFromTones(va > thrA, vb > thrB))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("node: no payload symbols recovered")
+	}
+	return out, nil
+}

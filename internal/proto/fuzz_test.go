@@ -1,0 +1,80 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+// FuzzDecodeFrame asserts the frame parser never panics and never accepts a
+// frame whose re-encoding differs from the input (i.e. no malleability).
+func FuzzDecodeFrame(f *testing.F) {
+	good, _ := Frame{Seq: 3, Flags: FlagFinal, Payload: []byte("seed")}.Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re, err := fr.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("malleable frame: %x re-encodes to %x", data, re)
+		}
+	})
+}
+
+// FuzzFECDecode asserts the FEC decoder never panics on arbitrary coded
+// streams and always returns the requested bit count for valid lengths.
+func FuzzFECDecode(f *testing.F) {
+	coded, _ := FECEncode(waveform.BytesToBits([]byte("seed data")), 4)
+	f.Add(boolsToBytes(coded), 4, 72)
+	f.Add([]byte{}, 1, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, depth, n int) {
+		bits := waveform.BytesToBits(raw)
+		bits = bits[:len(bits)/7*7]
+		out, _, err := FECDecode(bits, depth, n)
+		if err != nil {
+			return
+		}
+		if n >= 0 && len(out) > n {
+			t.Fatalf("decoder returned %d bits, cap was %d", len(out), n)
+		}
+	})
+}
+
+func boolsToBytes(bits []bool) []byte {
+	for len(bits)%8 != 0 {
+		bits = append(bits, false)
+	}
+	return waveform.BitsToBytes(bits)
+}
+
+// FuzzFrameRoundTrip asserts every encodable frame survives a decode.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(0), []byte{})
+	f.Add(uint8(255), uint8(3), []byte("payload"))
+	f.Fuzz(func(t *testing.T, seq, flags uint8, payload []byte) {
+		fr := Frame{Seq: seq, Flags: flags, Payload: payload}
+		wire, err := fr.Encode()
+		if err != nil {
+			if len(payload) <= MaxFramePayload {
+				t.Fatalf("encode failed for legal payload: %v", err)
+			}
+			return
+		}
+		got, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("round trip decode failed: %v", err)
+		}
+		if got.Seq != seq || got.Flags != flags || !bytes.Equal(got.Payload, payload) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,229 @@
+// Package proto implements MilBack's joint communication and localization
+// protocol (paper §7, Fig 8). A packet is:
+//
+//	Preamble Field 1 — triangular chirps; the node senses its own
+//	    orientation and learns the payload direction from the chirp count
+//	    (3 chirps ⇒ uplink, 2 chirps with a gap ⇒ downlink).
+//	Preamble Field 2 — five sawtooth chirps while the node toggles its
+//	    ports; the AP localizes the node and senses its orientation.
+//	Payload — OAQFM uplink or downlink on the orientation-derived tones.
+//
+// Multiple nodes are served by spatial-division multiplexing: the AP steers
+// its beams at one node per packet and schedules packets round-robin
+// ("MilBack can potentially support multiple nodes by using spatial
+// division multiplexing", §7).
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/rfsim"
+	"repro/internal/waveform"
+)
+
+// PacketOutcome reports one full Fig-8 packet exchange.
+type PacketOutcome struct {
+	// Direction the node decoded from Field 1 (must match the request).
+	Direction waveform.Direction
+	// NodeOrientation is the node-side estimate from Field 1 (§5.2b).
+	NodeOrientation node.OrientationResult
+	// Localization is the AP-side outcome of Field 2 (§5.1/§5.2a).
+	Localization core.LocalizationOutcome
+	// Payload is the received payload (at the node for downlink, at the AP
+	// for uplink).
+	Payload []byte
+	// BitErrors and BitsSent describe payload integrity.
+	BitErrors, BitsSent int
+	// LinkQualityDB is the payload link quality: SINR at the node for
+	// downlink, link-budget SNR at the AP for uplink.
+	LinkQualityDB float64
+	// AirtimeS is the total packet duration.
+	AirtimeS float64
+	// NodeEnergyJ is the node-side energy spent on the packet.
+	NodeEnergyJ float64
+}
+
+// BER returns the payload bit error rate.
+func (p PacketOutcome) BER() float64 {
+	if p.BitsSent == 0 {
+		return 0
+	}
+	return float64(p.BitErrors) / float64(p.BitsSent)
+}
+
+// Session is the AP's per-node protocol state.
+type Session struct {
+	sys  *core.System
+	node *node.Node
+	// LastOutcome caches the most recent packet outcome (tracking state).
+	LastOutcome *PacketOutcome
+	seed        int64
+	frameSeq    int
+}
+
+// NewSession binds a node to the system's AP.
+func NewSession(sys *core.System, n *node.Node, seed int64) (*Session, error) {
+	if sys == nil || n == nil {
+		return nil, fmt.Errorf("proto: nil system or node")
+	}
+	return &Session{sys: sys, node: n, seed: seed}, nil
+}
+
+// nextSeed derives a fresh deterministic seed per phase.
+func (s *Session) nextSeed() int64 {
+	s.seed = s.seed*6364136223846793005 + 1442695040888963407
+	return s.seed
+}
+
+// localizationSwitchRate is the node's Field-2 toggle rate (§5.1: 10 kHz).
+const localizationSwitchRate = 10e3
+
+// RunPacket executes one complete packet. For downlink, payload is what the
+// AP sends and the outcome's Payload is what the node decoded; for uplink,
+// payload is the node's data and the outcome's Payload is what the AP
+// decoded. rate is the payload data rate in bits/s.
+func (s *Session) RunPacket(dir waveform.Direction, payload []byte, rate float64) (PacketOutcome, error) {
+	if len(payload) == 0 {
+		return PacketOutcome{}, fmt.Errorf("proto: empty payload")
+	}
+	if rate <= 0 {
+		return PacketOutcome{}, fmt.Errorf("proto: rate must be positive, got %g", rate)
+	}
+	spec := waveform.DefaultPacketSpec(dir, 0)
+	s.sys.AP.Steer(s.node.AzimuthRad())
+
+	// ---- Field 1: direction announcement + node-side orientation ----
+	ns := rfsim.NewNoiseSource(s.nextSeed())
+	apCfg := s.sys.Config().AP
+	trace := s.node.Field1Trace(spec, s.sys.EffectiveTxPowerW(s.node), apCfg.TxGainDBi, ns)
+	chirpSamples := spec.OrientationChirp.SampleCount(s.node.Config().ADCSampleRateHz)
+	gotDir, err := node.DetectDirection(trace, chirpSamples)
+	if err != nil {
+		return PacketOutcome{}, fmt.Errorf("proto: field 1: %w", err)
+	}
+	if gotDir != dir {
+		return PacketOutcome{}, fmt.Errorf("proto: node decoded direction %v, AP sent %v", gotDir, dir)
+	}
+	nodeOri, err := s.sys.SenseOrientationAtNode(s.node, s.nextSeed())
+	if err != nil {
+		return PacketOutcome{}, fmt.Errorf("proto: field 1 orientation: %w", err)
+	}
+
+	// ---- Field 2: AP localization + orientation ----
+	loc, err := s.sys.Localize(s.node, s.nextSeed())
+	if err != nil {
+		return PacketOutcome{}, fmt.Errorf("proto: field 2: %w", err)
+	}
+
+	// ---- Payload ----
+	out := PacketOutcome{
+		Direction:       dir,
+		NodeOrientation: nodeOri,
+		Localization:    loc,
+	}
+	var payloadS float64
+	switch dir {
+	case waveform.Downlink:
+		res, err := s.sys.Downlink(s.node, loc.OrientationDeg, payload, rate/2, s.nextSeed())
+		if err != nil {
+			return PacketOutcome{}, fmt.Errorf("proto: payload: %w", err)
+		}
+		out.Payload = res.Data
+		out.BitErrors = res.BitErrors
+		out.BitsSent = res.BitsSent
+		out.LinkQualityDB = res.SINRdB
+		payloadS = float64(res.BitsSent) / rate
+	case waveform.Uplink:
+		res, err := s.sys.Uplink(s.node, loc.OrientationDeg, payload, rate, s.nextSeed())
+		if err != nil {
+			return PacketOutcome{}, fmt.Errorf("proto: payload: %w", err)
+		}
+		out.Payload = res.Data
+		out.BitErrors = res.BitErrors
+		out.BitsSent = res.BitsSent
+		out.LinkQualityDB = res.SNRdB
+		payloadS = float64(res.BitsSent) / rate
+	default:
+		return PacketOutcome{}, fmt.Errorf("proto: unknown direction %v", dir)
+	}
+
+	// ---- Accounting ----
+	f1 := spec.Field1Duration()
+	f2 := spec.Field2Duration()
+	out.AirtimeS = f1 + f2 + payloadS
+	pm := s.node.Power
+	energy := pm.Power(node.ModeDownlink, 0) * f1 // listening with detectors on
+	energy += pm.Power(node.ModeLocalization, localizationSwitchRate) * f2
+	if dir == waveform.Uplink {
+		energy += pm.Power(node.ModeUplink, node.UplinkToggleRate(rate)) * payloadS
+	} else {
+		energy += pm.Power(node.ModeDownlink, 0) * payloadS
+	}
+	out.NodeEnergyJ = energy
+	s.LastOutcome = &out
+	return out, nil
+}
+
+// Network serves multiple nodes with SDM round-robin scheduling.
+type Network struct {
+	sys      *core.System
+	sessions []*Session
+	next     int
+}
+
+// NewNetwork wraps a system.
+func NewNetwork(sys *core.System) *Network {
+	return &Network{sys: sys}
+}
+
+// System returns the underlying system.
+func (n *Network) System() *core.System { return n.sys }
+
+// Join creates a session for a node placed at pos/orientation.
+func (n *Network) Join(pos rfsim.Point, orientationDeg float64, seed int64) (*Session, error) {
+	nd, err := n.sys.AddNode(pos, orientationDeg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSession(n.sys, nd, seed)
+	if err != nil {
+		return nil, err
+	}
+	n.sessions = append(n.sessions, s)
+	return s, nil
+}
+
+// Sessions returns all sessions in join order.
+func (n *Network) Sessions() []*Session { return n.sessions }
+
+// Node returns a session's node.
+func (s *Session) Node() *node.Node { return s.node }
+
+// NextSession returns the next session in round-robin order (SDM: the AP
+// steers at one node at a time). It returns nil for an empty network.
+func (n *Network) NextSession() *Session {
+	if len(n.sessions) == 0 {
+		return nil
+	}
+	s := n.sessions[n.next%len(n.sessions)]
+	n.next++
+	return s
+}
+
+// PollAll runs one packet per node in round-robin order, returning the
+// outcomes in session order. A per-node error aborts and is returned with
+// the node index for diagnosis.
+func (n *Network) PollAll(dir waveform.Direction, payload []byte, rate float64) ([]PacketOutcome, error) {
+	out := make([]PacketOutcome, 0, len(n.sessions))
+	for i := range n.sessions {
+		s := n.NextSession()
+		o, err := s.RunPacket(dir, payload, rate)
+		if err != nil {
+			return out, fmt.Errorf("proto: node %d: %w", i, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package rfsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Fading models Rician small-scale fading: a dominant line-of-sight
+// component plus diffuse scatter. Indoor mmWave links with directional
+// antennas on both ends are strongly Rician (K ≈ 10–15 dB); the K-factor is
+// the LOS-to-scatter power ratio. The sampled amplitude factor has unit
+// mean-square, so it perturbs a link budget without changing its average.
+type Fading struct {
+	// KdB is the Rician K-factor in dB. Higher = more LOS-dominated =
+	// shallower fades. K → ∞ degenerates to no fading.
+	KdB float64
+}
+
+// Validate checks the model.
+func (f Fading) Validate() error {
+	if math.IsNaN(f.KdB) || f.KdB < -10 || f.KdB > 60 {
+		return fmt.Errorf("rfsim: Rician K %g dB outside [-10, 60]", f.KdB)
+	}
+	return nil
+}
+
+// SampleAmplitude draws one fading amplitude factor (E[a²] = 1).
+func (f Fading) SampleAmplitude(ns *NoiseSource) float64 {
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	k := math.Pow(10, f.KdB/10)
+	nu := math.Sqrt(k / (k + 1))          // LOS amplitude
+	sigma := math.Sqrt(1 / (2 * (k + 1))) // per-dimension scatter std
+	re := nu + ns.Gaussian(sigma)
+	im := ns.Gaussian(sigma)
+	return math.Hypot(re, im)
+}
+
+// SamplePowerDB draws one fading power perturbation in dB
+// (10·log10 of the squared amplitude factor).
+func (f Fading) SamplePowerDB(ns *NoiseSource) float64 {
+	a := f.SampleAmplitude(ns)
+	return 20 * math.Log10(a)
+}
+
+// OutageProbability estimates, over n Monte-Carlo draws, the probability
+// that the faded SNR falls below the required threshold:
+// P( snrDB + fade < requiredDB ).
+func (f Fading) OutageProbability(snrDB, requiredDB float64, n int, ns *NoiseSource) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("rfsim: outage draws must be >= 1, got %d", n))
+	}
+	out := 0
+	for i := 0; i < n; i++ {
+		if snrDB+f.SamplePowerDB(ns) < requiredDB {
+			out++
+		}
+	}
+	return float64(out) / float64(n)
+}
+
+// FadeMarginDB estimates the margin (dB) needed above the threshold to keep
+// outage below targetOutage, by Monte-Carlo quantile of the fade depth.
+func (f Fading) FadeMarginDB(targetOutage float64, n int, ns *NoiseSource) float64 {
+	if targetOutage <= 0 || targetOutage >= 1 {
+		panic(fmt.Sprintf("rfsim: target outage %g outside (0,1)", targetOutage))
+	}
+	if n < 10 {
+		panic(fmt.Sprintf("rfsim: need >= 10 draws, got %d", n))
+	}
+	fades := make([]float64, n)
+	for i := range fades {
+		fades[i] = f.SamplePowerDB(ns)
+	}
+	// The margin is −(targetOutage quantile) of the fade distribution.
+	sort.Float64s(fades)
+	idx := int(targetOutage * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return -fades[idx]
+}

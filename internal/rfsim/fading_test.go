@@ -1,0 +1,115 @@
+package rfsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFadingUnitMeanPower(t *testing.T) {
+	for _, k := range []float64{0, 6, 12, 20} {
+		f := Fading{KdB: k}
+		ns := NewNoiseSource(int64(k) + 1)
+		var power float64
+		const n = 100000
+		for i := 0; i < n; i++ {
+			a := f.SampleAmplitude(ns)
+			power += a * a
+		}
+		power /= n
+		if math.Abs(power-1) > 0.02 {
+			t.Errorf("K=%g: mean power = %g, want 1", k, power)
+		}
+	}
+}
+
+func TestFadingDepthDecreasesWithK(t *testing.T) {
+	varOf := func(k float64) float64 {
+		f := Fading{KdB: k}
+		ns := NewNoiseSource(7)
+		var sum, sq float64
+		const n = 50000
+		for i := 0; i < n; i++ {
+			a := f.SampleAmplitude(ns)
+			sum += a
+			sq += a * a
+		}
+		mean := sum / n
+		return sq/n - mean*mean
+	}
+	v0 := varOf(0)   // Rayleigh-ish: deep fades
+	v15 := varOf(15) // strong LOS: shallow
+	if v15 >= v0/3 {
+		t.Errorf("K=15 variance %g should be far below K=0 variance %g", v15, v0)
+	}
+}
+
+func TestFadingValidate(t *testing.T) {
+	for _, k := range []float64{-20, 70, math.NaN()} {
+		if err := (Fading{KdB: k}).Validate(); err == nil {
+			t.Errorf("K=%g should be rejected", k)
+		}
+	}
+	if err := (Fading{KdB: 12}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutageProbability(t *testing.T) {
+	f := Fading{KdB: 10}
+	ns := NewNoiseSource(9)
+	// Huge margin: essentially never in outage.
+	if p := f.OutageProbability(40, 10, 5000, ns); p > 0.001 {
+		t.Errorf("30 dB margin outage = %g", p)
+	}
+	// No margin: outage is substantial (fade dips below the mean about
+	// half the time for the median-centred threshold).
+	if p := f.OutageProbability(10, 10, 5000, ns); p < 0.2 {
+		t.Errorf("0 dB margin outage = %g, want large", p)
+	}
+	// Monotone in margin.
+	prev := 1.0
+	for _, m := range []float64{0, 3, 6, 10} {
+		p := f.OutageProbability(10+m, 10, 8000, NewNoiseSource(11))
+		if p > prev+0.01 {
+			t.Errorf("outage not decreasing with margin at %g dB", m)
+		}
+		prev = p
+	}
+}
+
+func TestFadeMargin(t *testing.T) {
+	ns := NewNoiseSource(13)
+	mStrongLOS := Fading{KdB: 15}.FadeMarginDB(0.01, 20000, ns)
+	mWeakLOS := Fading{KdB: 3}.FadeMarginDB(0.01, 20000, NewNoiseSource(13))
+	if mStrongLOS <= 0 || mWeakLOS <= 0 {
+		t.Fatalf("margins should be positive: %g, %g", mStrongLOS, mWeakLOS)
+	}
+	// Weaker LOS requires more margin for the same outage target.
+	if mWeakLOS <= mStrongLOS {
+		t.Errorf("K=3 margin %g dB should exceed K=15 margin %g dB", mWeakLOS, mStrongLOS)
+	}
+	// Typical values: K=15 needs a couple of dB at 1% outage.
+	if mStrongLOS > 6 {
+		t.Errorf("K=15 1%% margin = %g dB, expected a few dB", mStrongLOS)
+	}
+}
+
+func TestFadingPanics(t *testing.T) {
+	f := Fading{KdB: 10}
+	ns := NewNoiseSource(1)
+	for _, fn := range []func(){
+		func() { (Fading{KdB: 99}).SampleAmplitude(ns) },
+		func() { f.OutageProbability(10, 5, 0, ns) },
+		func() { f.FadeMarginDB(0, 100, ns) },
+		func() { f.FadeMarginDB(0.01, 5, ns) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,193 @@
+// Package track provides a constant-velocity Kalman filter over MilBack
+// localization fixes. The paper motivates MilBack with VR/AR (§1), where a
+// headset is localized tens of times per second; fusing the per-packet
+// range/angle fixes through a tracker is how a downstream system turns
+// 2–10 cm single-shot fixes into a smooth, velocity-aware pose stream.
+//
+// State is [x, y, vx, vy] in meters and meters/second; measurements are
+// (x, y) positions with isotropic standard deviation. All 4×4 linear
+// algebra is written out directly — no dependencies.
+package track
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config tunes the filter.
+type Config struct {
+	// ProcessNoiseAccel is the white-acceleration spectral density
+	// (m/s²·√Hz-ish); it bounds how fast the target may maneuver. VR head
+	// motion: ~2–5 m/s².
+	ProcessNoiseAccel float64
+	// InitialPosStd and InitialVelStd set the prior uncertainty.
+	InitialPosStd, InitialVelStd float64
+}
+
+// DefaultConfig suits head/hand-scale motion.
+func DefaultConfig() Config {
+	return Config{ProcessNoiseAccel: 3, InitialPosStd: 0.5, InitialVelStd: 1}
+}
+
+func (c Config) validate() error {
+	if c.ProcessNoiseAccel <= 0 {
+		return fmt.Errorf("track: process noise must be positive, got %g", c.ProcessNoiseAccel)
+	}
+	if c.InitialPosStd <= 0 || c.InitialVelStd <= 0 {
+		return fmt.Errorf("track: initial stds must be positive, got %g/%g", c.InitialPosStd, c.InitialVelStd)
+	}
+	return nil
+}
+
+// Filter is a 2-D constant-velocity Kalman filter. Construct with New, seed
+// with Init, then feed fixes through Update.
+type Filter struct {
+	cfg Config
+	// x is the state [x y vx vy]; P its covariance.
+	x [4]float64
+	p [4][4]float64
+	t float64
+	// initialized guards against updates before Init.
+	initialized bool
+}
+
+// New builds a filter.
+func New(cfg Config) (*Filter, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Filter{cfg: cfg}, nil
+}
+
+// MustNew is New for known-good configs.
+func MustNew(cfg Config) *Filter {
+	f, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Init seeds the filter with a first fix at time t (seconds).
+func (f *Filter) Init(x, y, t float64) {
+	f.x = [4]float64{x, y, 0, 0}
+	f.p = [4][4]float64{}
+	ps := f.cfg.InitialPosStd * f.cfg.InitialPosStd
+	vs := f.cfg.InitialVelStd * f.cfg.InitialVelStd
+	f.p[0][0], f.p[1][1] = ps, ps
+	f.p[2][2], f.p[3][3] = vs, vs
+	f.t = t
+	f.initialized = true
+}
+
+// Initialized reports whether Init has been called.
+func (f *Filter) Initialized() bool { return f.initialized }
+
+// predict advances the state to time t.
+func (f *Filter) predict(t float64) error {
+	dt := t - f.t
+	if dt < 0 {
+		return fmt.Errorf("track: time went backwards (%g after %g)", t, f.t)
+	}
+	if dt == 0 {
+		return nil
+	}
+	// x' = F x with F = [[1 0 dt 0],[0 1 0 dt],[0 0 1 0],[0 0 0 1]].
+	f.x[0] += dt * f.x[2]
+	f.x[1] += dt * f.x[3]
+	// P' = F P Fᵀ + Q (discrete white-acceleration model).
+	p := f.p
+	var fp [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			fp[i][j] = p[i][j]
+		}
+	}
+	// Apply F on the left: row0 += dt*row2, row1 += dt*row3.
+	for j := 0; j < 4; j++ {
+		fp[0][j] += dt * p[2][j]
+		fp[1][j] += dt * p[3][j]
+	}
+	// Apply Fᵀ on the right: col0 += dt*col2, col1 += dt*col3.
+	var out [4][4]float64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			out[i][j] = fp[i][j]
+		}
+		out[i][0] += dt * fp[i][2]
+		out[i][1] += dt * fp[i][3]
+	}
+	q := f.cfg.ProcessNoiseAccel * f.cfg.ProcessNoiseAccel
+	dt2 := dt * dt
+	dt3 := dt2 * dt / 2
+	dt4 := dt2 * dt2 / 4
+	for _, axis := range []int{0, 1} {
+		out[axis][axis] += q * dt4
+		out[axis][axis+2] += q * dt3
+		out[axis+2][axis] += q * dt3
+		out[axis+2][axis+2] += q * dt2
+	}
+	f.p = out
+	f.t = t
+	return nil
+}
+
+// Update predicts to time t and fuses a position fix with isotropic
+// measurement standard deviation measStd.
+func (f *Filter) Update(x, y, measStd, t float64) error {
+	if !f.initialized {
+		return fmt.Errorf("track: Update before Init")
+	}
+	if measStd <= 0 {
+		return fmt.Errorf("track: measurement std must be positive, got %g", measStd)
+	}
+	if err := f.predict(t); err != nil {
+		return err
+	}
+	r := measStd * measStd
+	// Two scalar sequential updates (H rows are orthogonal unit vectors),
+	// equivalent to the joint update for diagonal R.
+	for axis, z := range []float64{x, y} {
+		s := f.p[axis][axis] + r
+		var k [4]float64
+		for i := 0; i < 4; i++ {
+			k[i] = f.p[i][axis] / s
+		}
+		innov := z - f.x[axis]
+		for i := 0; i < 4; i++ {
+			f.x[i] += k[i] * innov
+		}
+		// P = (I − K H) P, H picks out `axis`.
+		var np [4][4]float64
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				np[i][j] = f.p[i][j] - k[i]*f.p[axis][j]
+			}
+		}
+		// Symmetrize against round-off.
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				m := (np[i][j] + np[j][i]) / 2
+				np[i][j], np[j][i] = m, m
+			}
+		}
+		f.p = np
+	}
+	return nil
+}
+
+// State returns position and velocity.
+func (f *Filter) State() (x, y, vx, vy float64) {
+	return f.x[0], f.x[1], f.x[2], f.x[3]
+}
+
+// PositionStd returns the 1-σ position uncertainty per axis.
+func (f *Filter) PositionStd() (sx, sy float64) {
+	return math.Sqrt(math.Max(f.p[0][0], 0)), math.Sqrt(math.Max(f.p[1][1], 0))
+}
+
+// Speed returns the estimated speed magnitude.
+func (f *Filter) Speed() float64 { return math.Hypot(f.x[2], f.x[3]) }
+
+// Covariance returns a copy of the state covariance.
+func (f *Filter) Covariance() [4][4]float64 { return f.p }

@@ -1,0 +1,139 @@
+package waveform
+
+import "fmt"
+
+// Symbol is one OAQFM symbol: two bits carried by the presence/absence of
+// the two orientation-selected tones (Fig 6). Bit order follows the paper's
+// figure: the high bit rides tone f_A, the low bit rides tone f_B.
+type Symbol uint8
+
+const (
+	// Symbol00 transmits neither tone.
+	Symbol00 Symbol = 0b00
+	// Symbol01 transmits only the f_B tone.
+	Symbol01 Symbol = 0b01
+	// Symbol10 transmits only the f_A tone.
+	Symbol10 Symbol = 0b10
+	// Symbol11 transmits both tones simultaneously.
+	Symbol11 Symbol = 0b11
+)
+
+// ToneA reports whether the f_A tone is present in the symbol.
+func (s Symbol) ToneA() bool { return s&0b10 != 0 }
+
+// ToneB reports whether the f_B tone is present in the symbol.
+func (s Symbol) ToneB() bool { return s&0b01 != 0 }
+
+// String implements fmt.Stringer, printing the bit pair.
+func (s Symbol) String() string { return fmt.Sprintf("%02b", uint8(s&0b11)) }
+
+// SymbolFromTones builds a symbol from per-tone presence flags.
+func SymbolFromTones(toneA, toneB bool) Symbol {
+	var s Symbol
+	if toneA {
+		s |= 0b10
+	}
+	if toneB {
+		s |= 0b01
+	}
+	return s
+}
+
+// TonePair is an OAQFM carrier assignment: the two frequencies that align
+// the node's port-A and port-B beams toward the AP for its current
+// orientation (§6.1). When the node is normal to the AP the two coincide
+// (FA == FB) and the modulation degenerates to single-carrier OOK (§6.2).
+type TonePair struct {
+	FA, FB float64 // Hz
+}
+
+// Degenerate reports whether the pair has collapsed to a single carrier
+// (zero-incidence OOK fallback).
+func (t TonePair) Degenerate() bool { return t.FA == t.FB }
+
+// BitsPerSymbol returns how many bits one symbol carries for this pair:
+// 2 for a distinct tone pair, 1 for the OOK fallback.
+func (t TonePair) BitsPerSymbol() int {
+	if t.Degenerate() {
+		return 1
+	}
+	return 2
+}
+
+// EncodeBits maps a bit slice onto OAQFM symbols for this tone pair. In the
+// degenerate (OOK) case each bit becomes presence/absence of the single
+// carrier, encoded on tone A. Odd trailing bits in 2-bit mode are padded
+// with a zero bit.
+func (t TonePair) EncodeBits(bits []bool) []Symbol {
+	if t.Degenerate() {
+		out := make([]Symbol, len(bits))
+		for i, b := range bits {
+			if b {
+				out[i] = Symbol11 // both flags set: the single carrier is on
+			} else {
+				out[i] = Symbol00
+			}
+		}
+		return out
+	}
+	out := make([]Symbol, 0, (len(bits)+1)/2)
+	for i := 0; i < len(bits); i += 2 {
+		hi := bits[i]
+		lo := false
+		if i+1 < len(bits) {
+			lo = bits[i+1]
+		}
+		out = append(out, SymbolFromTones(hi, lo))
+	}
+	return out
+}
+
+// DecodeSymbols maps symbols back to bits, inverting EncodeBits. n limits
+// the number of bits returned (to drop the pad bit of an odd-length
+// message); pass a negative n to keep everything.
+func (t TonePair) DecodeSymbols(syms []Symbol, n int) []bool {
+	var bits []bool
+	if t.Degenerate() {
+		bits = make([]bool, len(syms))
+		for i, s := range syms {
+			bits[i] = s.ToneA() || s.ToneB()
+		}
+	} else {
+		bits = make([]bool, 0, 2*len(syms))
+		for _, s := range syms {
+			bits = append(bits, s.ToneA(), s.ToneB())
+		}
+	}
+	if n >= 0 && n < len(bits) {
+		bits = bits[:n]
+	}
+	return bits
+}
+
+// BytesToBits unpacks bytes MSB-first into a bool slice.
+func BytesToBits(data []byte) []bool {
+	bits := make([]bool, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			bits = append(bits, b>>uint(i)&1 == 1)
+		}
+	}
+	return bits
+}
+
+// BitsToBytes packs bits MSB-first back into bytes. Trailing bits that do
+// not fill a byte are dropped.
+func BitsToBytes(bits []bool) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b <<= 1
+			if bits[i+j] {
+				b |= 1
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package waveform
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolToneFlags(t *testing.T) {
+	cases := []struct {
+		s      Symbol
+		a, b   bool
+		render string
+	}{
+		{Symbol00, false, false, "00"},
+		{Symbol01, false, true, "01"},
+		{Symbol10, true, false, "10"},
+		{Symbol11, true, true, "11"},
+	}
+	for _, c := range cases {
+		if c.s.ToneA() != c.a || c.s.ToneB() != c.b {
+			t.Errorf("symbol %v tones = %v,%v want %v,%v", c.s, c.s.ToneA(), c.s.ToneB(), c.a, c.b)
+		}
+		if c.s.String() != c.render {
+			t.Errorf("symbol String = %q, want %q", c.s.String(), c.render)
+		}
+		if SymbolFromTones(c.a, c.b) != c.s {
+			t.Errorf("SymbolFromTones(%v,%v) != %v", c.a, c.b, c.s)
+		}
+	}
+}
+
+func TestTonePairDegenerate(t *testing.T) {
+	normal := TonePair{FA: 27.5e9, FB: 28.5e9}
+	if normal.Degenerate() || normal.BitsPerSymbol() != 2 {
+		t.Error("distinct pair misclassified")
+	}
+	ook := TonePair{FA: 28e9, FB: 28e9}
+	if !ook.Degenerate() || ook.BitsPerSymbol() != 1 {
+		t.Error("degenerate pair misclassified")
+	}
+}
+
+func TestEncodeDecodeBitsRoundTrip(t *testing.T) {
+	pair := TonePair{FA: 27.5e9, FB: 28.5e9}
+	f := func(data []byte) bool {
+		bits := BytesToBits(data)
+		syms := pair.EncodeBits(bits)
+		back := pair.DecodeSymbols(syms, len(bits))
+		if len(back) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeOOKRoundTrip(t *testing.T) {
+	pair := TonePair{FA: 28e9, FB: 28e9}
+	f := func(data []byte) bool {
+		bits := BytesToBits(data)
+		syms := pair.EncodeBits(bits)
+		if len(syms) != len(bits) { // OOK: one symbol per bit
+			return false
+		}
+		back := pair.DecodeSymbols(syms, len(bits))
+		for i := range bits {
+			if bits[i] != back[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeOddBitsPads(t *testing.T) {
+	pair := TonePair{FA: 27.5e9, FB: 28.5e9}
+	syms := pair.EncodeBits([]bool{true, false, true})
+	if len(syms) != 2 {
+		t.Fatalf("3 bits -> %d symbols, want 2", len(syms))
+	}
+	if syms[0] != Symbol10 || syms[1] != Symbol10 {
+		t.Errorf("padded encoding = %v,%v want 10,10", syms[0], syms[1])
+	}
+	back := pair.DecodeSymbols(syms, 3)
+	want := []bool{true, false, true}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("decode with trim = %v, want %v", back, want)
+		}
+	}
+	// Negative n keeps all decoded bits including the pad.
+	all := pair.DecodeSymbols(syms, -1)
+	if len(all) != 4 {
+		t.Fatalf("untrimmed decode length = %d, want 4", len(all))
+	}
+}
+
+func TestPaperFig6SymbolMapping(t *testing.T) {
+	// Fig 6: "01" -> tone at f_B only; "10" -> tone at f_A only;
+	// "11" -> both tones; "00" -> nothing.
+	pair := TonePair{FA: 27.5e9, FB: 28.5e9}
+	syms := pair.EncodeBits([]bool{false, true /*01*/, true, false /*10*/, true, true /*11*/, false, false /*00*/})
+	want := []Symbol{Symbol01, Symbol10, Symbol11, Symbol00}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("symbol %d = %v, want %v", i, syms[i], want[i])
+		}
+	}
+}
+
+func TestBytesBitsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// MSB-first convention.
+	bits := BytesToBits([]byte{0x80})
+	if !bits[0] || bits[7] {
+		t.Error("BytesToBits is not MSB-first")
+	}
+	// Trailing partial bytes are dropped.
+	if got := BitsToBytes(make([]bool, 7)); len(got) != 0 {
+		t.Errorf("partial byte kept: %v", got)
+	}
+}
+
+func TestRandomSymbolStreamStats(t *testing.T) {
+	// Sanity: encoding random bytes uses all four symbols.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 256)
+	rng.Read(data)
+	pair := TonePair{FA: 27.5e9, FB: 28.5e9}
+	counts := map[Symbol]int{}
+	for _, s := range pair.EncodeBits(BytesToBits(data)) {
+		counts[s]++
+	}
+	for _, s := range []Symbol{Symbol00, Symbol01, Symbol10, Symbol11} {
+		if counts[s] == 0 {
+			t.Errorf("symbol %v never produced", s)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectionSignalling(t *testing.T) {
+	if Field1ChirpCount(Uplink) != 3 {
+		t.Error("uplink should signal with 3 chirps (§7)")
+	}
+	if Field1ChirpCount(Downlink) != 2 {
+		t.Error("downlink should signal with 2 chirps (§7)")
+	}
+	d, err := DirectionFromField1(3)
+	if err != nil || d != Uplink {
+		t.Errorf("3 chirps -> %v, %v", d, err)
+	}
+	d, err = DirectionFromField1(2)
+	if err != nil || d != Downlink {
+		t.Errorf("2 chirps -> %v, %v", d, err)
+	}
+	if _, err := DirectionFromField1(5); err == nil {
+		t.Error("5 chirps should not decode")
+	}
+	// Round trip for both directions.
+	for _, dir := range []Direction{Uplink, Downlink} {
+		got, err := DirectionFromField1(Field1ChirpCount(dir))
+		if err != nil || got != dir {
+			t.Errorf("direction round trip failed for %v", dir)
+		}
+	}
+	if Uplink.String() != "uplink" || Downlink.String() != "downlink" {
+		t.Error("direction names")
+	}
+}
+
+func TestDefaultPacketSpec(t *testing.T) {
+	p := DefaultPacketSpec(Uplink, 100)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	if p.OrientationChirp.Shape != Triangular {
+		t.Error("Field 1 chirp must be triangular")
+	}
+	if p.LocalizationChirp.Shape != Sawtooth {
+		t.Error("Field 2 chirp must be sawtooth")
+	}
+}
+
+func TestPacketDurations(t *testing.T) {
+	up := DefaultPacketSpec(Uplink, 200)
+	// Field 1 uplink: 3 x 45 µs.
+	if d := up.Field1Duration(); math.Abs(d-135e-6) > 1e-12 {
+		t.Errorf("uplink Field 1 = %g, want 135 µs", d)
+	}
+	down := DefaultPacketSpec(Downlink, 200)
+	// Field 1 downlink: 2 x 45 µs + 45 µs gap.
+	if d := down.Field1Duration(); math.Abs(d-135e-6) > 1e-12 {
+		t.Errorf("downlink Field 1 = %g, want 135 µs (2 chirps + gap)", d)
+	}
+	// Field 2: 5 x 18 µs = 90 µs.
+	if d := up.Field2Duration(); math.Abs(d-90e-6) > 1e-12 {
+		t.Errorf("Field 2 = %g, want 90 µs", d)
+	}
+	// Payload: 200 x 1 µs.
+	if d := up.PayloadDuration(); math.Abs(d-200e-6) > 1e-12 {
+		t.Errorf("payload = %g, want 200 µs", d)
+	}
+	if d := up.Duration(); math.Abs(d-(135e-6+90e-6+200e-6)) > 1e-12 {
+		t.Errorf("total = %g", d)
+	}
+}
+
+func TestPacketSpecValidation(t *testing.T) {
+	base := DefaultPacketSpec(Uplink, 10)
+	mutations := []func(*PacketSpec){
+		func(p *PacketSpec) { p.OrientationChirp.Shape = Sawtooth },
+		func(p *PacketSpec) { p.LocalizationChirp.Shape = Triangular },
+		func(p *PacketSpec) { p.OrientationChirp.Duration = 0 },
+		func(p *PacketSpec) { p.LocalizationChirp.FreqHigh = 0 },
+		func(p *PacketSpec) { p.PayloadSymbols = -1 },
+		func(p *PacketSpec) { p.SymbolDuration = 0 },
+		func(p *PacketSpec) { p.Field1Gap = -1 },
+		func(p *PacketSpec) { p.Direction = Direction(9) },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPayloadBits(t *testing.T) {
+	p := DefaultPacketSpec(Downlink, 100)
+	dual := TonePair{FA: 27.5e9, FB: 28.5e9}
+	ook := TonePair{FA: 28e9, FB: 28e9}
+	if n := p.PayloadBits(dual); n != 200 {
+		t.Errorf("dual-tone payload bits = %d, want 200", n)
+	}
+	if n := p.PayloadBits(ook); n != 100 {
+		t.Errorf("OOK payload bits = %d, want 100", n)
+	}
+}

@@ -1,0 +1,79 @@
+package milback_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/milback"
+)
+
+// Example shows the smallest complete round trip: join, localize, and
+// exchange data both ways. Payloads decode error-free at 3 m, and the node
+// spends 18 mW doing it.
+func Example() {
+	net, err := milback.NewNetwork(milback.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := net.Join(3, 0.5, -10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	up, err := node.Send([]byte("temperature=21.5C"), milback.Rate10Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	down, err := node.Deliver([]byte("setpoint=22.0C"), milback.Rate36Mbps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	power, _ := node.PowerDraw("downlink", 0)
+	fmt.Printf("uplink: %s (%d bit errors)\n", up.Data, up.BitErrors)
+	fmt.Printf("downlink: %s (%d bit errors)\n", down.Data, down.BitErrors)
+	fmt.Printf("node power: %.0f mW\n", power*1e3)
+	// Output:
+	// uplink: temperature=21.5C (0 bit errors)
+	// downlink: setpoint=22.0C (0 bit errors)
+	// node power: 18 mW
+}
+
+// ExampleNode_PowerDraw reproduces the §9.6 headline numbers from the
+// component power model.
+func ExampleNode_PowerDraw() {
+	net, err := milback.NewNetwork()
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := net.Join(2, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loc, _ := node.PowerDraw("localization", 0)
+	up, _ := node.PowerDraw("uplink", milback.Rate40Mbps)
+	fmt.Printf("localization/downlink: %.0f mW\n", loc*1e3)
+	fmt.Printf("uplink at 40 Mbps: %.0f mW\n", up*1e3)
+	fmt.Printf("uplink energy: %.1f nJ/bit\n", up/milback.Rate40Mbps*1e9)
+	// Output:
+	// localization/downlink: 18 mW
+	// uplink at 40 Mbps: 32 mW
+	// uplink energy: 0.8 nJ/bit
+}
+
+// ExampleNode_SendReliable shows CRC-checked, retransmitted transfers.
+func ExampleNode_SendReliable() {
+	net, err := milback.NewNetwork(milback.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	node, err := net.Join(2.5, 0, -10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := node.SendReliable([]byte("occupancy=3"), milback.Rate10Mbps, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s in %d attempt(s)\n", res.Data, res.Attempts)
+	// Output:
+	// occupancy=3 in 1 attempt(s)
+}

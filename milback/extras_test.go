@@ -1,0 +1,235 @@
+package milback
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDiscoverAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Discover(); err == nil {
+		t.Fatal("discovery on an empty network should fail")
+	}
+	truth := [][3]float64{{2, -1, 5}, {4, 0.5, -12}, {5.5, 2, 8}}
+	for _, p := range truth {
+		if _, err := net.Join(p[0], p[1], p[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dets, err := net.Discover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) != len(truth) {
+		t.Fatalf("discovered %d, want %d: %+v", len(dets), len(truth), dets)
+	}
+	// Every true node has a nearby detection.
+	for _, p := range truth {
+		found := false
+		for _, d := range dets {
+			if math.Hypot(d.X-p[0], d.Y-p[1]) < 0.6 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node at (%g, %g) not discovered: %+v", p[0], p[1], dets)
+		}
+	}
+}
+
+func TestBlockerAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(4, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Localize(); err != nil {
+		t.Fatalf("clear localization: %v", err)
+	}
+	if err := net.AddBlocker("person", 2, -0.5, 2, 0.5, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Localize(); err == nil {
+		t.Fatal("blocked localization should fail")
+	}
+	if !net.RemoveBlocker("person") {
+		t.Fatal("RemoveBlocker failed")
+	}
+	if net.RemoveBlocker("person") {
+		t.Fatal("double removal should be false")
+	}
+	if _, err := n.Localize(); err != nil {
+		t.Fatalf("post-removal localization: %v", err)
+	}
+	if err := net.AddBlocker("bad", 0, 0, 1, 1, 0); err == nil {
+		t.Error("zero-loss blocker should be rejected")
+	}
+}
+
+func TestReliableAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2.5, 0.3, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("checked payload")
+	up, err := n.SendReliable(data, Rate10Mbps, 3)
+	if err != nil {
+		t.Fatalf("SendReliable: %v", err)
+	}
+	if !bytes.Equal(up.Data, data) || up.Attempts != 1 {
+		t.Errorf("up = %+v", up)
+	}
+	down, err := n.DeliverReliable(data, Rate36Mbps, 3)
+	if err != nil {
+		t.Fatalf("DeliverReliable: %v", err)
+	}
+	if !bytes.Equal(down.Data, data) {
+		t.Errorf("down data = %q", down.Data)
+	}
+	if down.AirtimeS <= 0 || down.NodeEnergyJ <= 0 {
+		t.Error("accounting missing")
+	}
+}
+
+func TestWithSystemConfigAblation(t *testing.T) {
+	// The escape hatch works: a network built with the mirror artifact
+	// disabled estimates orientation cleanly at −4°, where the default
+	// network shows the Fig 13b bump.
+	meanErr := func(mirror bool) float64 {
+		cfg := core.DefaultConfig()
+		cfg.MirrorReflection = mirror
+		net, err := NewNetwork(WithSeed(61), WithSystemConfig(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := net.Join(2, 0, -4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const trials = 8
+		for i := 0; i < trials; i++ {
+			pos, err := n.Localize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += math.Abs(pos.OrientationDeg - (-4))
+		}
+		return sum / trials
+	}
+	withMirror := meanErr(true)
+	withoutMirror := meanErr(false)
+	if withMirror <= 2*withoutMirror {
+		t.Errorf("mirror-on error %.2f° should dwarf mirror-off %.2f°", withMirror, withoutMirror)
+	}
+	// Invalid overrides are rejected at construction.
+	bad := core.DefaultConfig()
+	bad.LocalizationChirps = 1
+	if _, err := NewNetwork(WithSystemConfig(bad)); err == nil {
+		t.Error("invalid system config should fail")
+	}
+}
+
+func TestFECAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2.5, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("fec protected")
+	got, corr, err := n.SendFEC(data, Rate10Mbps)
+	if err != nil {
+		t.Fatalf("SendFEC: %v", err)
+	}
+	if !bytes.Equal(got, data) || corr != 0 {
+		t.Errorf("got %q, %d corrections", got, corr)
+	}
+	got, _, err = n.DeliverFEC(data, Rate36Mbps)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("DeliverFEC: %v %q", err, got)
+	}
+}
+
+func TestSuperframeAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][3]float64{{2, -0.5, 8}, {3.5, 1, -12}} {
+		if _, err := net.Join(p[0], p[1], p[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := net.RunUplinkSuperframe(32, 3, Rate10Mbps)
+	if err != nil {
+		t.Fatalf("RunUplinkSuperframe: %v", err)
+	}
+	if len(stats.PerNodeDeliveredBits) != 2 {
+		t.Fatalf("per-node stats = %d", len(stats.PerNodeDeliveredBits))
+	}
+	for i, bits := range stats.PerNodeDeliveredBits {
+		if bits != 3*32*8 {
+			t.Errorf("node %d delivered %d bits", i, bits)
+		}
+	}
+	if math.Abs(stats.Fairness-1) > 1e-9 {
+		t.Errorf("fairness = %g", stats.Fairness)
+	}
+	if stats.AggregateThroughputBps <= 0 || stats.TotalAirtimeS <= 0 {
+		t.Error("aggregate stats missing")
+	}
+	// Empty network fails.
+	empty, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := empty.RunUplinkSuperframe(32, 1, Rate10Mbps); err == nil {
+		t.Error("empty network should fail")
+	}
+}
+
+func TestBestUplinkRateAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := net.Join(1.5, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := net.Join(9, 0.5, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNear, okNear, err := near.BestUplinkRate()
+	if err != nil || !okNear {
+		t.Fatalf("near: %g %v %v", rNear, okNear, err)
+	}
+	rFar, _, err := far.BestUplinkRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNear <= rFar {
+		t.Errorf("near rate %g should exceed far rate %g", rNear, rFar)
+	}
+	// The adapted rate carries real traffic.
+	if _, err := near.SendReliable([]byte("fast"), rNear, 2); err != nil {
+		t.Fatalf("transfer at adapted rate: %v", err)
+	}
+}

@@ -1,0 +1,212 @@
+package milback
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	net, err := NewNetwork(WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(3, 0.5, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := n.Localize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueD := math.Hypot(3, 0.5)
+	if math.Abs(pos.RangeM-trueD) > 0.3 {
+		t.Errorf("range = %.3f, want ~%.3f", pos.RangeM, trueD)
+	}
+	wantAz := 180 / math.Pi * math.Atan2(0.5, 3)
+	if math.Abs(pos.AzimuthDeg-wantAz) > 5 {
+		t.Errorf("azimuth = %.2f, want ~%.2f", pos.AzimuthDeg, wantAz)
+	}
+	if math.Abs(pos.X-3) > 0.4 || math.Abs(pos.Y-0.5) > 0.4 {
+		t.Errorf("cartesian fix (%.2f, %.2f), want (3, 0.5)", pos.X, pos.Y)
+	}
+	// Uplink exchange.
+	msg := []byte("hello from the node")
+	ex, err := n.Send(msg, Rate10Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ex.Data, msg) || ex.BitErrors != 0 {
+		t.Errorf("uplink corrupted: %q (%d errors)", ex.Data, ex.BitErrors)
+	}
+	if ex.BER() != 0 {
+		t.Errorf("BER = %g", ex.BER())
+	}
+	// Downlink exchange.
+	reply := []byte("ack from the AP")
+	ex, err = n.Deliver(reply, Rate36Mbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ex.Data, reply) {
+		t.Errorf("downlink corrupted: %q", ex.Data)
+	}
+	// Exchange carries a fresh fix + node-side orientation.
+	if math.Abs(ex.Position.RangeM-trueD) > 0.3 {
+		t.Errorf("exchange fix range = %.3f", ex.Position.RangeM)
+	}
+	if math.Abs(ex.NodeOrientationDeg+10) > 3 {
+		t.Errorf("node orientation = %.2f, want ~-10", ex.NodeOrientationDeg)
+	}
+	if ex.AirtimeS <= 0 || ex.NodeEnergyJ <= 0 {
+		t.Error("accounting missing")
+	}
+}
+
+func TestOrientationAPI(t *testing.T) {
+	net, err := NewNetwork(WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, 0, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := n.Orientation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-14) > 3 {
+		t.Errorf("orientation = %.2f, want ~14", est)
+	}
+}
+
+func TestMultiNode(t *testing.T) {
+	net, err := NewNetwork(WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := net.Join(2, -0.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.Join(4, 1, -12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Nodes()) != 2 {
+		t.Fatalf("nodes = %d", len(net.Nodes()))
+	}
+	for i, n := range []*Node{a, b} {
+		msg := []byte{byte(i), 0xAB}
+		ex, err := n.Send(msg, Rate10Mbps)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !bytes.Equal(ex.Data, msg) {
+			t.Errorf("node %d payload corrupted", i)
+		}
+	}
+}
+
+func TestMove(t *testing.T) {
+	net, err := NewNetwork(WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Move(5, 0, 10)
+	x, y, o := n.TruePosition()
+	if x != 5 || y != 0 || o != 10 {
+		t.Fatalf("TruePosition = %g,%g,%g", x, y, o)
+	}
+	pos, err := n.Localize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pos.RangeM-5) > 0.4 {
+		t.Errorf("post-move range = %.3f, want 5", pos.RangeM)
+	}
+}
+
+func TestPowerDraw(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := n.PowerDraw("downlink", 0)
+	if err != nil || math.Abs(down-18e-3) > 1e-6 {
+		t.Errorf("downlink power = %g (%v), want 18 mW", down, err)
+	}
+	up, err := n.PowerDraw("uplink", Rate40Mbps)
+	if err != nil || math.Abs(up-32e-3) > 1e-6 {
+		t.Errorf("uplink power = %g (%v), want 32 mW", up, err)
+	}
+	if idle, _ := n.PowerDraw("idle", 0); idle != 0 {
+		t.Errorf("idle power = %g", idle)
+	}
+	if loc, _ := n.PowerDraw("localization", 0); math.Abs(loc-18e-3) > 0.2e-3 {
+		t.Errorf("localization power = %g", loc)
+	}
+	if _, err := n.PowerDraw("uplink", 0); err == nil {
+		t.Error("uplink without rate should fail")
+	}
+	if _, err := n.PowerDraw("warp", 0); err == nil {
+		t.Error("unknown activity should fail")
+	}
+}
+
+func TestOptions(t *testing.T) {
+	// Empty scene works.
+	net, err := NewNetwork(WithEmptyScene(), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Localize(); err != nil {
+		t.Fatalf("localize in empty scene: %v", err)
+	}
+	// Determinism: two same-seed networks behave identically.
+	mk := func() Position {
+		nw, err := NewNetwork(WithSeed(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd, err := nw.Join(4, 1, -5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := nd.Localize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if mk() != mk() {
+		t.Error("same seed should reproduce identical fixes")
+	}
+}
+
+func TestSendTooFastFails(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send([]byte{1}, 1e9); err == nil {
+		t.Fatal("1 Gbps should exceed the switch limit")
+	}
+}

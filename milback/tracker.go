@@ -1,0 +1,62 @@
+package milback
+
+import (
+	"fmt"
+
+	"repro/internal/track"
+)
+
+// Tracker fuses a node's localization fixes through a constant-velocity
+// Kalman filter, turning per-packet range/angle estimates into a smooth
+// position + velocity stream — the form a VR/AR application (§1 of the
+// paper) consumes.
+type Tracker struct {
+	node *Node
+	kf   *track.Filter
+	// MeasurementStdM is the assumed 1-σ error of a single fix (default
+	// 5 cm, the paper's mid-range ranging accuracy).
+	MeasurementStdM float64
+	t               float64
+}
+
+// NewTracker attaches a tracker to a node.
+func (n *Node) NewTracker() (*Tracker, error) {
+	kf, err := track.New(track.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("milback: %w", err)
+	}
+	return &Tracker{node: n, kf: kf, MeasurementStdM: 0.05}, nil
+}
+
+// TrackedPose is a fused pose estimate.
+type TrackedPose struct {
+	// X, Y is the filtered position; VX, VY the velocity estimate.
+	X, Y, VX, VY float64
+	// StdX, StdY are the 1-σ position uncertainties.
+	StdX, StdY float64
+	// Raw is the unfiltered fix that fed this step.
+	Raw Position
+}
+
+// Step localizes the node once at simulation time t (seconds, strictly
+// increasing across calls) and folds the fix into the track.
+func (tr *Tracker) Step(t float64) (TrackedPose, error) {
+	pos, err := tr.node.Localize()
+	if err != nil {
+		return TrackedPose{}, err
+	}
+	if !tr.kf.Initialized() {
+		tr.kf.Init(pos.X, pos.Y, t)
+	} else {
+		if err := tr.kf.Update(pos.X, pos.Y, tr.MeasurementStdM, t); err != nil {
+			return TrackedPose{}, fmt.Errorf("milback: %w", err)
+		}
+	}
+	tr.t = t
+	x, y, vx, vy := tr.kf.State()
+	sx, sy := tr.kf.PositionStd()
+	return TrackedPose{X: x, Y: y, VX: vx, VY: vy, StdX: sx, StdY: sy, Raw: pos}, nil
+}
+
+// Speed returns the current speed estimate in m/s.
+func (tr *Tracker) Speed() float64 { return tr.kf.Speed() }

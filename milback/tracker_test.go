@@ -1,0 +1,95 @@
+package milback
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrackerFollowsMovingNode(t *testing.T) {
+	net, err := NewNetwork(WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, -0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-fix angle errors grow with range (~1.6° typical at the phase
+	// mismatch), so tell the filter the honest per-fix std for this
+	// geometry instead of the default near-field 5 cm.
+	tr.MeasurementStdM = 0.15
+	// The node walks a straight line at 0.5 m/s in x, localized at 20 Hz.
+	vx := 0.5
+	var rawErr, filtErr, vxSum, vySum float64
+	cnt := 0
+	vCnt := 0
+	var last TrackedPose
+	for i := 0; i <= 120; i++ {
+		tSec := float64(i) * 0.05
+		trueX := 2 + vx*tSec
+		trueY := -0.5
+		n.Move(trueX, trueY, 0)
+		pose, err := tr.Step(tSec)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		last = pose
+		if i > 40 {
+			rawErr += math.Hypot(pose.Raw.X-trueX, pose.Raw.Y-trueY)
+			filtErr += math.Hypot(pose.X-trueX, pose.Y-trueY)
+			cnt++
+		}
+		if i > 80 {
+			vxSum += pose.VX
+			vySum += pose.VY
+			vCnt++
+		}
+	}
+	rawErr /= float64(cnt)
+	filtErr /= float64(cnt)
+	if filtErr >= rawErr {
+		t.Errorf("filtered error %.4f m should beat raw %.4f m", filtErr, rawErr)
+	}
+	// Velocity recovered (averaged over the settled tail; single-step
+	// velocity jitters with the range-dependent fix noise).
+	meanVX, meanVY := vxSum/float64(vCnt), vySum/float64(vCnt)
+	if math.Abs(meanVX-vx) > 0.2 || math.Abs(meanVY) > 0.25 {
+		t.Errorf("mean velocity (%.2f, %.2f), want (%.1f, 0)", meanVX, meanVY, vx)
+	}
+	if last.StdX <= 0 || last.StdY <= 0 {
+		t.Error("uncertainty missing")
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	net, err := NewNetwork(WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(3, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Time going backwards is rejected.
+	if _, err := tr.Step(0.5); err == nil {
+		t.Fatal("time reversal should fail")
+	}
+	// A blocked node cannot be tracked.
+	if err := net.AddBlocker("person", 1.5, -0.5, 1.5, 0.5, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Step(2.0); err == nil {
+		t.Fatal("blocked step should fail")
+	}
+}
