@@ -1,0 +1,30 @@
+# MilBack-Go build/verify entry points.
+#
+# `make verify` is the PR gate: it vets, builds, runs the full test suite
+# under the race detector (covering the parallel chirp/spectra pipeline and
+# the shared FFT-plan cache), and smoke-runs every benchmark once.
+
+GO ?= go
+
+.PHONY: verify vet build test race bench bench-baseline
+
+verify: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate the committed BENCH_seed.json baseline (longer benchtime).
+bench-baseline:
+	./scripts/bench_baseline.sh

@@ -11,11 +11,15 @@
 package repro
 
 import (
+	"math"
+	"math/bits"
+	"runtime"
 	"testing"
 
 	"repro/internal/ap"
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/fsa"
 	"repro/internal/node"
@@ -361,6 +365,128 @@ func BenchmarkUplinkChain(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Plan-cached FFT vs the seed's per-call implementation, and serial vs
+// parallel capture. The seed algorithm is reproduced below verbatim as the
+// uncached baseline; BENCH_seed.json records the measured gap (see
+// scripts/bench_baseline.sh).
+// ---------------------------------------------------------------------------
+
+// seedRadix2FFT is the pre-plan per-call transform: it re-derives the
+// bit-reversal permutation and every stage's twiddle factors on each call.
+func seedRadix2FFT(x []complex128) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(step * float64(k))
+			w := complex(c, s)
+			for start := k; start < n; start += size {
+				even := x[start]
+				odd := x[start+half] * w
+				x[start] = even + odd
+				x[start+half] = even - odd
+			}
+		}
+	}
+}
+
+func benchSignal(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * 37 * float64(i) / float64(n))
+		x[i] = complex(c, s)
+	}
+	return x
+}
+
+// BenchmarkFFT2048PlanCached measures the plan-backed transform at the
+// pipeline's dominant size (cfg.FFTSize = 2048).
+func BenchmarkFFT2048PlanCached(b *testing.B) {
+	x := benchSignal(2048)
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		dsp.FFTInPlace(buf)
+	}
+}
+
+// BenchmarkFFT2048Uncached measures the seed's per-call implementation at
+// the same size — the baseline the plan cache replaces.
+func BenchmarkFFT2048Uncached(b *testing.B) {
+	x := benchSignal(2048)
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		seedRadix2FFT(buf)
+	}
+}
+
+// BenchmarkFFTBluestein1125PlanCached measures the cached chirp-z path at
+// the orientation chirp's sample count (45 µs × 25 MHz = 1125, non-pow-2):
+// the plan reuses the chirp vectors and the pre-transformed kernel spectrum.
+func BenchmarkFFTBluestein1125PlanCached(b *testing.B) {
+	x := benchSignal(1125)
+	buf := make([]complex128, len(x))
+	plan := dsp.PlanFFT(1125)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		plan.Forward(buf)
+	}
+}
+
+// benchCapture runs one synthesize+localize round, the §5.1 pipeline both
+// capture benchmarks share.
+func benchCapture(b *testing.B, a *ap.AP, nChirps int) {
+	c := a.Config().LocalizationChirp
+	tgt := &ap.BackscatterTarget{
+		Pos: rfsim.Point{X: 3},
+		GainDBi: func(k int, f float64) float64 {
+			if k%2 == 1 {
+				return 25
+			}
+			return 5
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		frames := a.SynthesizeChirps(c, nChirps, tgt, nil, rfsim.NewNoiseSource(int64(i+1)))
+		if _, err := a.ProcessLocalization(c, frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaptureSerial forces the chirp pipeline onto one worker.
+func BenchmarkCaptureSerial(b *testing.B) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	a := ap.MustNew(ap.DefaultConfig(), rfsim.DefaultIndoorScene())
+	b.ResetTimer()
+	benchCapture(b, a, 32)
+}
+
+// BenchmarkCaptureParallel runs the same pipeline with all cores; output is
+// bit-identical to the serial run (see internal/ap pipeline tests).
+func BenchmarkCaptureParallel(b *testing.B) {
+	a := ap.MustNew(ap.DefaultConfig(), rfsim.DefaultIndoorScene())
+	b.ResetTimer()
+	benchCapture(b, a, 32)
 }
 
 func abs(x float64) float64 {

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 
 	"repro/internal/dsp"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -15,6 +16,10 @@ import (
 // the chirp index (switch state) and the instantaneous chirp frequency
 // (FSA beam sweep). GainDBi returns the equivalent node gain consumed by
 // rfsim.BackscatterAmplitude; return -Inf for "no reflection".
+//
+// SynthesizeChirpsMulti evaluates GainDBi concurrently across chirp indices,
+// so the function must be safe for simultaneous calls — derive everything
+// from (chirpIdx, fHz) and read-only state, as fsa's with-modes queries do.
 type BackscatterTarget struct {
 	Pos     rfsim.Point
 	GainDBi func(chirpIdx int, fHz float64) float64
@@ -32,7 +37,8 @@ type ModulatedPath struct {
 	Pos rfsim.Point
 	// Amplitude returns the linear voltage gain of the path for chirp k
 	// (relative to the transmitted waveform, antenna gains included by the
-	// caller or folded in here).
+	// caller or folded in here). Like BackscatterTarget.GainDBi it is called
+	// concurrently across chirp indices and must be safe for that.
 	Amplitude func(chirpIdx int) float64
 }
 
@@ -90,8 +96,62 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 	clutter := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
 	noisePower := a.noisePowerW(fs)
 
+	// Per-target constants, hoisted out of the chirp loop: geometry and the
+	// obstruction loss do not depend on the chirp index.
+	type targetState struct {
+		tgt      *BackscatterTarget
+		d, az    float64
+		blk      float64
+		txG, rxG float64
+	}
+	targets := make([]targetState, 0, len(tgts))
+	for _, tgt := range tgts {
+		if tgt == nil {
+			continue
+		}
+		az := tgt.Pos.AngleFrom(rfsim.Point{})
+		targets = append(targets, targetState{
+			tgt: tgt,
+			d:   tgt.Pos.Distance(rfsim.Point{}),
+			az:  az,
+			// A blocker between AP and node attenuates the round trip:
+			// one-way loss L dB ⇒ amplitude factor 10^(−L/10).
+			blk: math.Pow(10, -a.scene.ObstructionLossDB(rfsim.Point{}, tgt.Pos)/10),
+			txG: a.tx.GainDBi(az),
+			rxG: a.rx[0].GainDBi(az),
+		})
+	}
+	type extraState struct {
+		path ModulatedPath
+		az   float64
+		tau  float64
+	}
+	extras := make([]extraState, len(extra))
+	for i, ep := range extra {
+		extras[i] = extraState{
+			path: ep,
+			az:   ep.Pos.AngleFrom(rfsim.Point{}),
+			tau:  2*rfsim.PropagationDelay(ep.Pos.Distance(rfsim.Point{})) + jitter,
+		}
+	}
+
+	// Noise is drawn serially up front, one buffer per chirp in chirp order,
+	// so the RNG consumes exactly the stream the historical serial loop did —
+	// the parallel fan-out below then stays bit-identical to a serial run.
+	var noise [][2][]complex128
+	if ns != nil {
+		noise = make([][2][]complex128, nChirps)
+		for k := range noise {
+			for m := 0; m < 2; m++ {
+				buf := make([]complex128, nSamp)
+				ns.AddComplexAWGN(buf, noisePower)
+				noise[k][m] = buf
+			}
+		}
+	}
+
 	frames := make([]ChirpFrame, nChirps)
-	for k := 0; k < nChirps; k++ {
+	parallel.ForEach(nChirps, func(k int) {
 		var frame ChirpFrame
 		for m := 0; m < 2; m++ {
 			frame.Rx[m] = make([]complex128, nSamp)
@@ -101,46 +161,41 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 			a.addBeatTone(&frame, cEff, p.Delay+jitter, p.Amplitude*txAmp*radarLoss, p.AoARad, lambda, psi, nil)
 		}
 		// The nodes' modulated reflections.
-		for _, tgt := range tgts {
-			if tgt == nil {
-				continue
-			}
-			d := tgt.Pos.Distance(rfsim.Point{})
-			az := tgt.Pos.AngleFrom(rfsim.Point{})
+		for _, ts := range targets {
 			// Range rate advances the delay chirp by chirp (Doppler).
-			dk := d + tgt.RadialVelocityMS*float64(k)*a.cfg.ChirpIntervalS
+			dk := ts.d + ts.tgt.RadialVelocityMS*float64(k)*a.cfg.ChirpIntervalS
 			if dk <= 0 {
 				continue
 			}
 			tau := 2*rfsim.PropagationDelay(dk) + jitter
-			gainAt := tgt.GainDBi
-			// A blocker between AP and node attenuates the round trip:
-			// one-way loss L dB ⇒ amplitude factor 10^(−L/10).
-			blk := math.Pow(10, -a.scene.ObstructionLossDB(rfsim.Point{}, tgt.Pos)/10)
+			gainAt := ts.tgt.GainDBi
 			ampAt := func(t float64) float64 {
 				g := gainAt(k, cEff.FrequencyAt(t))
 				if math.IsInf(g, -1) {
 					return 0
 				}
-				return rfsim.BackscatterAmplitude(a.tx.GainDBi(az), a.rx[0].GainDBi(az), g, d, fc) *
-					txAmp * radarLoss * blk
+				// The path loss follows the Doppler-advanced distance dk, not
+				// the initial d: a long burst against a fast target must not
+				// overstate (or understate) late-chirp SNR.
+				return rfsim.BackscatterAmplitude(ts.txG, ts.rxG, g, dk, fc) *
+					txAmp * radarLoss * ts.blk
 			}
-			a.addBeatTone(&frame, cEff, tau, 0, az, lambda, psi, ampAt)
+			a.addBeatTone(&frame, cEff, tau, 0, ts.az, lambda, psi, ampAt)
 		}
 		// Extra injected paths (e.g. the mirror reflection).
-		for _, ep := range extra {
-			d := ep.Pos.Distance(rfsim.Point{})
-			az := ep.Pos.AngleFrom(rfsim.Point{})
-			tau := 2*rfsim.PropagationDelay(d) + jitter
-			a.addBeatTone(&frame, cEff, tau, ep.Amplitude(k)*txAmp*radarLoss, az, lambda, psi, nil)
+		for _, es := range extras {
+			a.addBeatTone(&frame, cEff, es.tau, es.path.Amplitude(k)*txAmp*radarLoss, es.az, lambda, psi, nil)
 		}
-		if ns != nil {
+		if noise != nil {
 			for m := 0; m < 2; m++ {
-				ns.AddComplexAWGN(frame.Rx[m], noisePower)
+				nb := noise[k][m]
+				for i := range frame.Rx[m] {
+					frame.Rx[m][i] += nb[i]
+				}
 			}
 		}
 		frames[k] = frame
-	}
+	})
 	return frames
 }
 
@@ -181,22 +236,51 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 		return nil, fmt.Errorf("ap: background subtraction needs >= 2 chirps, got %d", len(frames))
 	}
 	nfft := a.cfg.FFTSize
-	spectra := make([][2][]complex128, len(frames))
-	for k, f := range frames {
+	// Validate every frame up front so the fan-out below is infallible. A
+	// frame longer than the FFT would previously be truncated silently,
+	// discarding late-chirp samples (and with them orientation information);
+	// refuse it instead.
+	uniform := true
+	n0 := len(frames[0].Rx[0])
+	for k := range frames {
 		for m := 0; m < 2; m++ {
-			n := len(f.Rx[m])
+			n := len(frames[k].Rx[m])
 			if n == 0 {
 				return nil, fmt.Errorf("ap: empty chirp frame %d", k)
 			}
-			buf := make([]complex128, nfft)
-			w := dsp.Hann(n)
-			for i := 0; i < n && i < nfft; i++ {
-				buf[i] = f.Rx[m][i] * complex(w[i], 0)
+			if n > nfft {
+				return nil, fmt.Errorf("ap: chirp frame %d has %d samples but FFT size is %d; raise Config.FFTSize to at least %d",
+					k, n, nfft, dsp.NextPowerOfTwo(n))
 			}
-			dsp.FFTInPlace(buf)
-			spectra[k][m] = buf
+			if n != n0 {
+				uniform = false
+			}
 		}
 	}
+	// The analysis window depends only on the frame length: hoist it out of
+	// the per-chirp × per-antenna loop (captures share one window) instead of
+	// recomputing it 2·len(frames) times.
+	var shared []float64
+	if uniform {
+		shared = dsp.Hann(n0)
+	}
+	plan := dsp.PlanFFT(nfft)
+	spectra := make([][2][]complex128, len(frames))
+	parallel.ForEach(len(frames), func(k int) {
+		for m := 0; m < 2; m++ {
+			x := frames[k].Rx[m]
+			w := shared
+			if w == nil {
+				w = dsp.Hann(len(x))
+			}
+			buf := make([]complex128, nfft)
+			for i := range x {
+				buf[i] = x[i] * complex(w[i], 0)
+			}
+			plan.Forward(buf)
+			spectra[k][m] = buf
+		}
+	})
 	diffs := make([][2][]complex128, len(frames)-1)
 	for k := 0; k+1 < len(spectra); k++ {
 		for m := 0; m < 2; m++ {

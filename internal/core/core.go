@@ -133,38 +133,33 @@ func (s *System) Nodes() []*node.Node { return s.nodes }
 
 // localizationTarget builds the dechirp-domain view of a node that toggles
 // BOTH ports together, alternating per chirp — the §5.1 switching pattern.
+// The closure evaluates hypothetical switch states through the FSA's pure
+// with-modes query, so SynthesizeChirpsMulti may call it from any chirp's
+// goroutine without racing on the node's actual switch state.
 func localizationTarget(n *node.Node) *ap.BackscatterTarget {
 	return &ap.BackscatterTarget{
 		Pos: n.Position,
 		GainDBi: func(k int, fHz float64) float64 {
-			prevA, prevB := n.FSA.ModeOf(fsa.PortA), n.FSA.ModeOf(fsa.PortB)
 			mode := fsa.Absorptive
 			if k%2 == 1 {
 				mode = fsa.Reflective
 			}
-			n.FSA.SetModes(mode, mode)
-			g := 20 * math.Log10(n.FSA.ReflectionAmplitude(fHz, n.OrientationDeg)) / 2
-			n.FSA.SetModes(prevA, prevB)
-			return g
+			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(mode, mode, fHz, n.OrientationDeg)) / 2
 		},
 	}
 }
 
 // orientationTarget builds the §5.2a view: port A held absorptive, port B
-// toggling per chirp.
+// toggling per chirp. Like localizationTarget it is concurrency-safe.
 func orientationTarget(n *node.Node) *ap.BackscatterTarget {
 	return &ap.BackscatterTarget{
 		Pos: n.Position,
 		GainDBi: func(k int, fHz float64) float64 {
-			prevA, prevB := n.FSA.ModeOf(fsa.PortA), n.FSA.ModeOf(fsa.PortB)
 			modeB := fsa.Absorptive
 			if k%2 == 1 {
 				modeB = fsa.Reflective
 			}
-			n.FSA.SetModes(fsa.Absorptive, modeB)
-			g := 20 * math.Log10(n.FSA.ReflectionAmplitude(fHz, n.OrientationDeg)) / 2
-			n.FSA.SetModes(prevA, prevB)
-			return g
+			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(fsa.Absorptive, modeB, fHz, n.OrientationDeg)) / 2
 		},
 	}
 }

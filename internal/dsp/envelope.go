@@ -21,7 +21,8 @@ func HilbertEnvelope(x []float64) []float64 {
 	for i, v := range x {
 		buf[i] = complex(v, 0)
 	}
-	radix2(buf, false)
+	plan := PlanFFT(m)
+	plan.Forward(buf)
 	// Build the analytic spectrum.
 	for k := 1; k < m/2; k++ {
 		buf[k] *= 2
@@ -29,7 +30,7 @@ func HilbertEnvelope(x []float64) []float64 {
 	for k := m/2 + 1; k < m; k++ {
 		buf[k] = 0
 	}
-	radix2(buf, true)
+	plan.Inverse(buf)
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
 		out[i] = cmplx.Abs(buf[i])

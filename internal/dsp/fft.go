@@ -39,7 +39,9 @@ func NextPowerOfTwo(n int) int {
 // FFT computes the in-place-free discrete Fourier transform of x and returns
 // a new slice. Any length is accepted: power-of-two lengths use an iterative
 // radix-2 Cooley-Tukey algorithm, everything else falls back to Bluestein's
-// algorithm (chirp-z), which reduces to power-of-two FFTs internally.
+// algorithm (chirp-z), which reduces to power-of-two FFTs internally. Both
+// paths run off a cached FFTPlan, so repeated transforms of the same size
+// reuse their bit-reversal tables, twiddle factors, and chirp state.
 //
 // The convention is engineering-standard:
 //
@@ -66,7 +68,7 @@ func FFTInPlace(x []complex128) {
 	if !IsPowerOfTwo(len(x)) {
 		panic(fmt.Sprintf("dsp: FFTInPlace requires power-of-two length, got %d", len(x)))
 	}
-	radix2(x, false)
+	PlanFFT(len(x)).Forward(x)
 }
 
 // IFFTInPlace inverse-transforms x in place (power-of-two lengths only).
@@ -74,108 +76,14 @@ func IFFTInPlace(x []complex128) {
 	if !IsPowerOfTwo(len(x)) {
 		panic(fmt.Sprintf("dsp: IFFTInPlace requires power-of-two length, got %d", len(x)))
 	}
-	radix2(x, true)
+	PlanFFT(len(x)).Inverse(x)
 }
 
 func fftInPlace(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return
 	}
-	if IsPowerOfTwo(n) {
-		radix2(x, inverse)
-		return
-	}
-	bluestein(x, inverse)
-}
-
-// radix2 is an iterative in-place decimation-in-time FFT for power-of-two
-// lengths. When inverse is true it computes the inverse transform including
-// the 1/N factor.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	if n <= 1 {
-		return
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		// Twiddle via recurrence would accumulate error over long runs;
-		// sizes here are <= 2^24 so direct Sincos per butterfly column is
-		// accurate and still cheap (computed once per column, reused down
-		// the rows).
-		for k := 0; k < half; k++ {
-			s, c := math.Sincos(step * float64(k))
-			w := complex(c, s)
-			for start := k; start < n; start += size {
-				even := x[start]
-				odd := x[start+half] * w
-				x[start] = even + odd
-				x[start+half] = even - odd
-			}
-		}
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT via the chirp-z transform.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// chirp[k] = exp(sign * iπ k^2 / n)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k can overflow for huge n; reduce mod 2n first (exp period).
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		phase := sign * math.Pi * float64(kk) / float64(n)
-		s, c := math.Sincos(phase)
-		chirp[k] = complex(c, s)
-	}
-	m := NextPowerOfTwo(2*n - 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * chirp[k]
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
-		}
-	}
+	PlanFFT(len(x)).Transform(x, inverse)
 }
 
 // FFTReal transforms a real-valued signal, returning the full complex

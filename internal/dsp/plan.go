@@ -1,0 +1,250 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// FFTPlan holds everything a transform of one fixed size needs but does not
+// want to recompute per call: the bit-reversal permutation, per-stage twiddle
+// factors for both transform directions, and — for non-power-of-two sizes —
+// the Bluestein chirp vectors and the pre-transformed b-sequence spectra,
+// plus a scratch-buffer pool for the internal convolution.
+//
+// A plan is immutable after construction and safe for concurrent use from
+// any number of goroutines; the package-level cache hands the same plan to
+// every caller asking for a given size. The butterfly schedule and twiddle
+// values are exactly those of the historical per-call implementation, so
+// plan-cached transforms are bit-identical to the seed's output.
+type FFTPlan struct {
+	n int
+	// rev[i] is the bit-reversed index of i (power-of-two sizes only).
+	rev []int
+	// twFwd/twInv are stage-major twiddle tables: for stage size s the
+	// entries w_k = exp(∓2πik/s), k < s/2, stored consecutively. n-1 entries
+	// per direction.
+	twFwd, twInv []complex128
+	// blu is non-nil for non-power-of-two sizes.
+	blu *bluesteinPlan
+}
+
+// bluesteinPlan is the cached chirp-z state for one non-power-of-two size.
+type bluesteinPlan struct {
+	// m is the power-of-two convolution length, NextPowerOfTwo(2n-1).
+	m   int
+	sub *FFTPlan // plan for length m
+	// chirpFwd[k] = exp(-iπk²/n); chirpInv is its inverse-sign twin.
+	chirpFwd, chirpInv []complex128
+	// bSpecFwd/bSpecInv are the length-m forward FFTs of the b-sequence
+	// built from the matching chirp — the convolution kernel, transformed
+	// once at plan time instead of on every call.
+	bSpecFwd, bSpecInv []complex128
+	// scratch recycles the length-m convolution buffers.
+	scratch sync.Pool
+}
+
+// planCache maps size -> *FFTPlan. Plans are tiny relative to the signals
+// they transform (two n-entry twiddle tables) and the simulator touches only
+// a handful of sizes (cfg.FFTSize, chirp sample counts, Doppler burst
+// lengths), so an unbounded cache is the right trade.
+var planCache sync.Map
+
+// PlanFFT returns the shared transform plan for length n, building and
+// caching it on first use. It panics if n < 1.
+func PlanFFT(n int) *FFTPlan {
+	if n < 1 {
+		panic(fmt.Sprintf("dsp: PlanFFT requires n >= 1, got %d", n))
+	}
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan)
+	}
+	p := newPlan(n)
+	// Two goroutines may build the same plan concurrently; both results are
+	// identical, so keeping whichever lands first is harmless.
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*FFTPlan)
+}
+
+// Size returns the transform length the plan serves.
+func (p *FFTPlan) Size() int { return p.n }
+
+func newPlan(n int) *FFTPlan {
+	p := &FFTPlan{n: n}
+	if IsPowerOfTwo(n) {
+		p.initRadix2(n)
+		return p
+	}
+	p.blu = newBluesteinPlan(n)
+	return p
+}
+
+func (p *FFTPlan) initRadix2(n int) {
+	if n > 1 {
+		p.rev = make([]int, n)
+		shift := 64 - uint(bits.Len(uint(n-1)))
+		for i := 0; i < n; i++ {
+			p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	p.twFwd = twiddleTable(n, -1)
+	p.twInv = twiddleTable(n, +1)
+}
+
+// twiddleTable precomputes w_k = exp(sign·2πik/size) stage by stage, using
+// the same Sincos evaluation the per-call code used so values match bitwise.
+func twiddleTable(n int, sign float64) []complex128 {
+	if n < 2 {
+		return nil
+	}
+	tw := make([]complex128, 0, n-1)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			s, c := math.Sincos(step * float64(k))
+			tw = append(tw, complex(c, s))
+		}
+	}
+	return tw
+}
+
+func newBluesteinPlan(n int) *bluesteinPlan {
+	m := NextPowerOfTwo(2*n - 1)
+	bp := &bluesteinPlan{
+		m:        m,
+		sub:      PlanFFT(m),
+		chirpFwd: chirpVector(n, -1),
+		chirpInv: chirpVector(n, +1),
+	}
+	bp.bSpecFwd = bp.bSpectrum(bp.chirpFwd)
+	bp.bSpecInv = bp.bSpectrum(bp.chirpInv)
+	bp.scratch.New = func() any {
+		buf := make([]complex128, m)
+		return &buf
+	}
+	return bp
+}
+
+// chirpVector builds chirp[k] = exp(sign·iπk²/n), reducing k² mod 2n first
+// so huge sizes cannot overflow the phase argument.
+func chirpVector(n int, sign float64) []complex128 {
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		phase := sign * math.Pi * float64(kk) / float64(n)
+		s, c := math.Sincos(phase)
+		chirp[k] = complex(c, s)
+	}
+	return chirp
+}
+
+// bSpectrum assembles the Bluestein b-sequence for one chirp direction and
+// returns its length-m forward FFT.
+func (bp *bluesteinPlan) bSpectrum(chirp []complex128) []complex128 {
+	n := len(chirp)
+	b := make([]complex128, bp.m)
+	for k := 0; k < n; k++ {
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[bp.m-k] = cmplx.Conj(chirp[k])
+	}
+	bp.sub.radix2(b, false)
+	return b
+}
+
+// Forward transforms x in place using the engineering-standard sign
+// convention X[k] = Σ x[n]·exp(-2πikn/N). len(x) must equal the plan size.
+func (p *FFTPlan) Forward(x []complex128) { p.Transform(x, false) }
+
+// Inverse inverse-transforms x in place, including the 1/N normalization.
+func (p *FFTPlan) Inverse(x []complex128) { p.Transform(x, true) }
+
+// Transform runs the plan in the requested direction.
+func (p *FFTPlan) Transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: plan for length %d applied to length %d", p.n, len(x)))
+	}
+	if p.blu != nil {
+		p.bluestein(x, inverse)
+		return
+	}
+	p.radix2(x, inverse)
+}
+
+// radix2 is the iterative in-place decimation-in-time FFT, with the
+// permutation and twiddles read from the plan's tables instead of being
+// recomputed per call.
+func (p *FFTPlan) radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	for i, j := range p.rev {
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := p.twFwd
+	if inverse {
+		tw = p.twInv
+	}
+	off := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		for k := 0; k < half; k++ {
+			w := tw[off+k]
+			for start := k; start < n; start += size {
+				even := x[start]
+				odd := x[start+half] * w
+				x[start] = even + odd
+				x[start+half] = even - odd
+			}
+		}
+		off += half
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reusing the cached chirp vectors, pre-transformed kernel spectrum, and a
+// pooled convolution buffer.
+func (p *FFTPlan) bluestein(x []complex128, inverse bool) {
+	bp := p.blu
+	n := p.n
+	chirp, bSpec := bp.chirpFwd, bp.bSpecFwd
+	if inverse {
+		chirp, bSpec = bp.chirpInv, bp.bSpecInv
+	}
+	aPtr := bp.scratch.Get().(*[]complex128)
+	a := *aPtr
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	for k := n; k < bp.m; k++ {
+		a[k] = 0
+	}
+	bp.sub.radix2(a, false)
+	for i := range a {
+		a[i] *= bSpec[i]
+	}
+	bp.sub.radix2(a, true)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * chirp[k]
+	}
+	bp.scratch.Put(aPtr)
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}

@@ -46,11 +46,11 @@ func InterpolateSinc(x []float64, pos float64, taps int) float64 {
 			continue
 		}
 		d := pos - float64(k)
-		// Hann window over the kernel support width.
-		w := 0.5 * (1 + math.Cos(math.Pi*d/float64(taps)))
 		if math.Abs(d) > float64(taps) {
 			continue
 		}
+		// Hann window over the kernel support width.
+		w := 0.5 * (1 + math.Cos(math.Pi*d/float64(taps)))
 		s := sinc(math.Pi*d) * w
 		acc += x[k] * s
 		wsum += s

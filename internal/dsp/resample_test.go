@@ -69,6 +69,51 @@ func TestInterpolateSincEdges(t *testing.T) {
 	InterpolateSinc(x, 1, 0)
 }
 
+func TestInterpolateSincEdgeOfSupport(t *testing.T) {
+	// The kernel support is k ∈ [center−taps+1, center+taps], so |d| = |pos−k|
+	// reaches taps only at an integer pos, where both the Hann weight and the
+	// sinc are exactly zero. The |d| > taps guard must therefore run before
+	// the weight is computed (it used to be dead code after it) and excluding
+	// the boundary must not change any value.
+	x := []float64{0.3, -1.2, 2.5, 0.9, -0.4, 1.7, 0.1, -2.2, 1.4, 0.6}
+	taps := 3
+	ref := func(pos float64) float64 {
+		center := int(math.Floor(pos))
+		var acc, wsum float64
+		for k := center - taps + 1; k <= center+taps; k++ {
+			if k < 0 || k >= len(x) {
+				continue
+			}
+			d := pos - float64(k)
+			if math.Abs(d) >= float64(taps) { // strictly interior support only
+				continue
+			}
+			w := 0.5 * (1 + math.Cos(math.Pi*d/float64(taps)))
+			s := sinc(math.Pi*d) * w
+			acc += x[k] * s
+			wsum += s
+		}
+		if wsum == 0 {
+			return x[center]
+		}
+		return acc / wsum
+	}
+	for _, pos := range []float64{0.5, 1, 2, 2.999999, 3, 4.25, 6.5, 8, 8.9} {
+		got := InterpolateSinc(x, pos, taps)
+		want := ref(pos)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("pos %g: got %g, edge-clipped reference %g", pos, got, want)
+		}
+	}
+	// Integer positions reproduce the sample exactly: the d = ±taps edge taps
+	// contribute zero weight.
+	for _, i := range []int{1, 4, 8} {
+		if got := InterpolateSinc(x, float64(i), taps); math.Abs(got-x[i]) > 1e-9 {
+			t.Errorf("integer pos %d: got %g, want sample %g", i, got, x[i])
+		}
+	}
+}
+
 func TestResampleLength(t *testing.T) {
 	x := make([]float64, 100)
 	if n := len(Resample(x, 2, 6)); n != 200 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsa"
 	"repro/internal/node"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -167,7 +168,7 @@ func AblationMirrorReflection(orientations []float64, trials int, seed int64) Ab
 		return sum / float64(trials)
 	}
 	out := AblationMirrorResult{Rows: make([]AblationMirrorRow, len(orientations))}
-	forEachIndex(len(orientations), func(oi int) {
+	parallel.ForEach(len(orientations), func(oi int) {
 		o := orientations[oi]
 		out.Rows[oi] = AblationMirrorRow{
 			OrientationDeg:   o,

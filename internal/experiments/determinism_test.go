@@ -3,6 +3,8 @@ package experiments
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // TestParallelSweepsAreDeterministic verifies the worker-pool experiment
@@ -32,11 +34,12 @@ func TestParallelSweepsAreDeterministic(t *testing.T) {
 	}
 }
 
-// TestForEachIndexCoversAllIndices checks the pool helper itself.
-func TestForEachIndexCoversAllIndices(t *testing.T) {
+// TestForEachCoversAllIndices checks the shared fan-out helper from the
+// experiments' side (its own unit tests live in internal/parallel).
+func TestForEachCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 7, 64} {
 		hits := make([]int, n)
-		forEachIndex(n, func(i int) { hits[i]++ })
+		parallel.ForEach(n, func(i int) { hits[i]++ })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("n=%d: index %d visited %d times", n, i, h)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dsp"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 )
 
@@ -45,7 +46,7 @@ func ExtDoppler(velocities []float64, bursts []int, trials int, seed int64) ExtD
 		}
 	}
 	rows := make([]ExtDopplerRow, len(cells))
-	forEachIndex(len(cells), func(ci int) {
+	parallel.ForEach(len(cells), func(ci int) {
 		c := cells[ci]
 		v, nChirps := velocities[c.vi], bursts[c.bi]
 		sys := defaultSystem()

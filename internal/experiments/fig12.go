@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dsp"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 )
 
@@ -32,7 +33,7 @@ func Fig12aRanging(distances []float64, trials int, seed int64) Fig12aResult {
 	out := Fig12aResult{Rows: make([]Fig12aRow, len(distances))}
 	// Each distance runs on its own simulator instance so the sweep
 	// parallelizes across cores while staying deterministic.
-	forEachIndex(len(distances), func(di int) {
+	parallel.ForEach(len(distances), func(di int) {
 		d := distances[di]
 		sys := defaultSystem()
 		n, err := sys.AddNode(rfsim.Point{X: d}, 8)
@@ -98,7 +99,7 @@ func Fig12bAngle(anglesDeg []float64, distanceM float64, trials int, seed int64)
 		panic(fmt.Sprintf("experiments: trials must be >= 1, got %d", trials))
 	}
 	perAngle := make([][]float64, len(anglesDeg))
-	forEachIndex(len(anglesDeg), func(ai int) {
+	parallel.ForEach(len(anglesDeg), func(ai int) {
 		az := anglesDeg[ai]
 		sys := defaultSystem()
 		n, err := sys.AddNode(rfsim.PolarPoint(distanceM, rfsim.DegToRad(az)), 8)

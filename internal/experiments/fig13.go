@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dsp"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 )
 
@@ -31,7 +32,7 @@ func Fig13aNodeOrientation(orientationsDeg []float64, trials int, seed int64) Fi
 		panic(fmt.Sprintf("experiments: trials must be >= 1, got %d", trials))
 	}
 	out := Fig13Result{Side: "node", Rows: make([]Fig13Row, len(orientationsDeg))}
-	forEachIndex(len(orientationsDeg), func(oi int) {
+	parallel.ForEach(len(orientationsDeg), func(oi int) {
 		orient := orientationsDeg[oi]
 		sys := defaultSystem()
 		n, err := sys.AddNode(rfsim.Point{X: 2}, orient)
@@ -65,7 +66,7 @@ func Fig13bAPOrientation(orientationsDeg []float64, trials int, seed int64) Fig1
 		panic(fmt.Sprintf("experiments: trials must be >= 1, got %d", trials))
 	}
 	out := Fig13Result{Side: "AP", Rows: make([]Fig13Row, len(orientationsDeg))}
-	forEachIndex(len(orientationsDeg), func(oi int) {
+	parallel.ForEach(len(orientationsDeg), func(oi int) {
 		orient := orientationsDeg[oi]
 		sys := defaultSystem()
 		n, err := sys.AddNode(rfsim.Point{X: 2}, orient)

@@ -288,8 +288,17 @@ func (f *FSA) HalfPowerBeamwidthDeg() float64 {
 // receive and once on re-radiation. Absorptive ports reflect only the
 // residual return loss.
 func (f *FSA) ReflectionGainDBi(p Port, fHz, angleDeg float64) float64 {
+	return f.ReflectionGainWithModeDBi(p, f.ModeOf(p), fHz, angleDeg)
+}
+
+// ReflectionGainWithModeDBi is ReflectionGainDBi evaluated as if the port's
+// switch were in the given mode, without reading or mutating the FSA's
+// actual switch state. Because it touches only the immutable design config,
+// it is safe to call concurrently — the AP's parallel chirp synthesis
+// evaluates per-chirp switching patterns through this form.
+func (f *FSA) ReflectionGainWithModeDBi(p Port, m Mode, fHz, angleDeg float64) float64 {
 	g := 2 * f.GainDBi(p, fHz, angleDeg)
-	if f.ModeOf(p) == Absorptive {
+	if m == Absorptive {
 		g -= f.cfg.AbsorptionReturnLossDB
 	}
 	return g
@@ -300,8 +309,17 @@ func (f *FSA) ReflectionGainDBi(p Port, fHz, angleDeg float64) float64 {
 // to an ideal isotropic 0 dBi² reflector. The two ports' contributions add
 // in amplitude (they share the aperture coherently).
 func (f *FSA) ReflectionAmplitude(fHz, angleDeg float64) float64 {
-	aA := math.Pow(10, f.ReflectionGainDBi(PortA, fHz, angleDeg)/20)
-	aB := math.Pow(10, f.ReflectionGainDBi(PortB, fHz, angleDeg)/20)
+	return f.ReflectionAmplitudeWithModes(f.modes[0], f.modes[1], fHz, angleDeg)
+}
+
+// ReflectionAmplitudeWithModes is ReflectionAmplitude evaluated for an
+// explicit pair of port modes (A, B) instead of the stored switch state.
+// It is the concurrency-safe form for callers that sweep hypothetical
+// switching patterns (e.g. per-chirp toggling) without serializing on the
+// shared FSA.
+func (f *FSA) ReflectionAmplitudeWithModes(modeA, modeB Mode, fHz, angleDeg float64) float64 {
+	aA := math.Pow(10, f.ReflectionGainWithModeDBi(PortA, modeA, fHz, angleDeg)/20)
+	aB := math.Pow(10, f.ReflectionGainWithModeDBi(PortB, modeB, fHz, angleDeg)/20)
 	return aA + aB
 }
 

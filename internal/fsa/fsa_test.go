@@ -303,3 +303,34 @@ func TestFig10ShapeSevenFrequencies(t *testing.T) {
 		t.Errorf("total sweep = %g°, want ~60°", span)
 	}
 }
+
+func TestReflectionWithModesMatchesStatefulForm(t *testing.T) {
+	// The explicit-modes queries must agree exactly with setting the switch
+	// state and calling the stateful forms — they are the same computation,
+	// minus the mutation.
+	f := Default()
+	modes := []Mode{Reflective, Absorptive}
+	for _, ma := range modes {
+		for _, mb := range modes {
+			for _, fHz := range []float64{26.5e9, 28e9, 29.5e9} {
+				for _, ang := range []float64{-25, 0, 13.7} {
+					f.SetModes(ma, mb)
+					want := f.ReflectionAmplitude(fHz, ang)
+					// Scramble the stored state to prove the pure form
+					// ignores it.
+					f.SetModes(Absorptive, Reflective)
+					got := f.ReflectionAmplitudeWithModes(ma, mb, fHz, ang)
+					if got != want {
+						t.Fatalf("modes %v/%v f=%g ang=%g: pure %g != stateful %g",
+							ma, mb, fHz, ang, got, want)
+					}
+					gw := f.ReflectionGainWithModeDBi(PortA, ma, fHz, ang)
+					f.SetModes(ma, mb)
+					if gs := f.ReflectionGainDBi(PortA, fHz, ang); gw != gs {
+						t.Fatalf("port A gain: pure %g != stateful %g", gw, gs)
+					}
+				}
+			}
+		}
+	}
+}

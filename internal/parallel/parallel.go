@@ -1,0 +1,55 @@
+// Package parallel provides the deterministic fan-out helper shared by the
+// simulator's hot paths (chirp synthesis, range-FFT batches) and the
+// experiment sweeps.
+//
+// The contract every caller must honour: fn(i) derives everything it needs
+// from the index i alone (its own simulator state, its own seeds, its own
+// output slot), so results are bit-identical to a serial run regardless of
+// goroutine scheduling. Random draws shared across indices must be performed
+// serially *before* fanning out — see ap.SynthesizeChirpsMulti, which draws
+// every chirp's noise up front in chirp order so the RNG stream matches the
+// historical serial implementation exactly.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) concurrently on up to GOMAXPROCS workers. When
+// GOMAXPROCS (or n) is 1 it degenerates to a plain serial loop, which tests
+// use (via runtime.GOMAXPROCS) to compare parallel output against the serial
+// path bit for bit.
+func ForEach(n int, fn func(i int)) {
+	ForEachWorkers(n, runtime.GOMAXPROCS(0), fn)
+}
+
+// ForEachWorkers is ForEach with an explicit worker budget. workers <= 1
+// runs serially on the calling goroutine.
+func ForEachWorkers(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -1,0 +1,44 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachWorkersSerialFallback(t *testing.T) {
+	// With a single worker the indices must arrive in order on the calling
+	// goroutine — the property the determinism tests rely on.
+	var order []int
+	ForEachWorkers(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fallback visited %v, want ascending order", order)
+		}
+	}
+	// A zero or negative budget must still run everything.
+	count := 0
+	ForEachWorkers(3, 0, func(i int) { count++ })
+	if count != 3 {
+		t.Fatalf("workers=0 ran %d of 3 indices", count)
+	}
+}
+
+func TestForEachWorkersConcurrent(t *testing.T) {
+	var total int64
+	ForEachWorkers(128, 8, func(i int) { atomic.AddInt64(&total, int64(i)) })
+	if total != 128*127/2 {
+		t.Fatalf("sum = %d, want %d", total, 128*127/2)
+	}
+}

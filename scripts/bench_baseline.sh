@@ -1,0 +1,40 @@
+#!/bin/sh
+# Regenerates BENCH_seed.json: the committed baseline for the plan-cached
+# FFT vs the seed per-call implementation, and the serial vs parallel §5.1
+# capture pipeline. Run from the repository root:
+#
+#	./scripts/bench_baseline.sh [benchtime]
+#
+# The JSON records ns/op per benchmark plus the machine context needed to
+# interpret it (CPU count matters: on a single-core box the parallel capture
+# degenerates to the serial path by design).
+set -eu
+
+BENCHTIME="${1:-300ms}"
+OUT="BENCH_seed.json"
+
+go test -run '^$' \
+	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial|CaptureParallel' \
+	-benchtime "$BENCHTIME" . |
+	awk -v benchtime="$BENCHTIME" '
+	/^goos:/ { goos = $2 }
+	/^goarch:/ { goarch = $2 }
+	/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		vals[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+	}
+	END {
+		printf "{\n"
+		printf "  \"goos\": \"%s\",\n", goos
+		printf "  \"goarch\": \"%s\",\n", goarch
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"gomaxprocs\": %s,\n", maxprocs
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"benchmarks\": [\n"
+		for (i = 1; i <= n; i++) printf "%s%s\n", vals[i], (i < n ? "," : "")
+		printf "  ]\n}\n"
+	}' maxprocs="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo null)" >"$OUT"
+
+cat "$OUT"
