@@ -6,12 +6,21 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race bench bench-baseline
+.PHONY: verify lint vet fmt-check build test race bench bench-baseline
 
-verify: vet build race bench
+verify: lint build race bench
+
+# lint is the static gate: vet plus a gofmt cleanliness check.
+lint: vet fmt-check
 
 vet:
 	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...

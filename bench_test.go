@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/bits"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/ap"
@@ -321,6 +322,47 @@ func BenchmarkEndToEnd_ProtocolPacket(b *testing.B) {
 		if _, err := n.Send(payload, milback.Rate10Mbps); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkNetworkThroughput measures the concurrent session engine: K
+// goroutines on distinct nodes push uplink packets through the AP airtime
+// scheduler. Per-op time is one full round of K packets; the reported
+// metric is the aggregate simulated-payload rate over simulated airtime,
+// from Network.Stats.
+func BenchmarkNetworkThroughput(b *testing.B) {
+	net, err := milback.NewNetwork(milback.WithSeed(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer net.Close()
+	placements := [][3]float64{
+		{2.0, -0.8, 10}, {2.5, -0.3, -8}, {3.0, 0.2, 5}, {2.6, 0.9, -12},
+	}
+	nodes := make([]*milback.Node, len(placements))
+	for i, p := range placements {
+		if nodes[i], err = net.Join(p[0], p[1], p[2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := []byte("throughput benchmark payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, n := range nodes {
+			wg.Add(1)
+			go func(n *milback.Node) {
+				defer wg.Done()
+				if _, err := n.Send(payload, milback.Rate10Mbps); err != nil {
+					b.Error(err)
+				}
+			}(n)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if st := net.Stats(); st.AirtimeS > 0 {
+		b.ReportMetric(float64(st.BitsSent)/st.AirtimeS/1e6, "sim-Mbps")
 	}
 }
 

@@ -41,6 +41,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	defer net.Close()
 	node, err := net.Join(*x, *y, *orient)
 	if err != nil {
 		fatal(err)
@@ -84,9 +85,13 @@ func main() {
 	fmt.Printf("bit errors: %d/%d (BER %.2g), node SINR %.1f dB\n", down.BitErrors, down.BitsSent, down.BER(), down.SNRdB)
 	fmt.Printf("packet airtime %.1f µs, node energy %.2f µJ\n\n", down.AirtimeS*1e6, down.NodeEnergyJ*1e6)
 
-	upP, _ := node.PowerDraw("uplink", *rate)
-	downP, _ := node.PowerDraw("downlink", 0)
+	upP, _ := node.Power(milback.ActivityUplink, *rate)
+	downP, _ := node.Power(milback.ActivityDownlink, 0)
 	fmt.Printf("node power: %.1f mW uplink, %.1f mW downlink/localization (§9.6)\n", upP*1e3, downP*1e3)
+
+	st := net.Stats()
+	fmt.Printf("network stats: %d exchanges, %d/%d bit errors, %.1f µs total airtime\n",
+		st.Exchanges, st.BitErrors, st.BitsSent, st.AirtimeS*1e6)
 }
 
 func fatal(err error) {

@@ -3,18 +3,22 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/milback"
 )
 
 func main() {
-	// A network is one access point in a cluttered indoor room.
+	// A network is one access point in a cluttered indoor room. Close
+	// releases its airtime-scheduler goroutine.
 	net, err := milback.NewNetwork(milback.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer net.Close()
 
 	// A backscatter node 3 m away, slightly off to the side, rotated −10°.
 	node, err := net.Join(3, 0.5, -10)
@@ -45,4 +49,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("downlink: %q  (%d bit errors, SINR %.1f dB)\n", down.Data, down.BitErrors, down.SNRdB)
+
+	// Every call has a *Context variant that honors cancellation and
+	// deadlines while the operation waits for the AP's beam.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := node.SendContext(ctx, []byte("ack"), milback.Rate10Mbps); err != nil {
+		log.Fatal(err)
+	}
+
+	st := net.Stats()
+	fmt.Printf("stats: %d exchanges, %.1f µs airtime\n", st.Exchanges, st.AirtimeS*1e6)
 }

@@ -21,6 +21,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer net.Close()
 	headset, err := net.Join(2.5, 0, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -39,7 +40,9 @@ func main() {
 		x := 2.0 + 1.5*t
 		y := -0.8 + 1.6*t
 		yaw := 20 * math.Sin(2*math.Pi*t) // head rotation, degrees
-		headset.Move(x, y, yaw)
+		if err := headset.Move(x, y, yaw); err != nil {
+			log.Fatalf("frame %d move: %v", f, err)
+		}
 
 		// One protocol packet per frame: preamble localizes + senses
 		// orientation, payload pushes a 64-byte scene update downlink.
@@ -77,7 +80,7 @@ func main() {
 			log.Fatalf("frame %d uplink: %v", f, err)
 		}
 	}
-	power, _ := headset.PowerDraw("uplink", milback.Rate40Mbps)
+	power, _ := headset.Power(milback.ActivityUplink, milback.Rate40Mbps)
 	fmt.Printf("\nmean raw fix error %.1f cm, mean tracked error %.1f cm; worst yaw error %.2f° — at %.0f mW\n",
 		rawSum/frames*100, kfSum/frames*100, worstYaw, power*1e3)
 	fmt.Printf("estimated walking speed: %.2f m/s\n", tracker.Speed())

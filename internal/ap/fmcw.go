@@ -1,6 +1,7 @@
 package ap
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -10,6 +11,13 @@ import (
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
+
+// ErrNoDetection reports a capture with no usable backscatter reflection:
+// no beat peak, a peak buried in the clutter floor, or a discovery sweep
+// that found nothing. Errors from the detection pipelines wrap it, so
+// callers can errors.Is their way through the chain (the milback facade
+// re-exports it as milback.ErrNoDetection).
+var ErrNoDetection = errors.New("no backscatter detection")
 
 // BackscatterTarget describes the node as the FMCW processor sees it: a
 // point reflector at a position whose effective reflection gain depends on
@@ -339,11 +347,12 @@ func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (Localiz
 	}
 	peak := dsp.MaxPeak(profile)
 	if peak.Index <= 0 {
-		return LocalizationResult{}, fmt.Errorf("ap: no backscatter peak found")
+		return LocalizationResult{}, fmt.Errorf("ap: %w: no backscatter peak found", ErrNoDetection)
 	}
 	med := dsp.Median(profile)
 	if med > 0 && peak.Value < 10*med {
-		return LocalizationResult{}, fmt.Errorf("ap: peak %.3g not significant over floor %.3g", peak.Value, med)
+		return LocalizationResult{}, fmt.Errorf("ap: %w: peak %.3g not significant over floor %.3g",
+			ErrNoDetection, peak.Value, med)
 	}
 	fBeat := peak.Position * fs / float64(nfft)
 	tau := c.DelayForBeat(fBeat)
@@ -532,7 +541,7 @@ func (a *AP) DetectTargets(c waveform.Chirp, frames []ChirpFrame, maxTargets int
 		return nil, err
 	}
 	if len(peaks) == 0 {
-		return nil, fmt.Errorf("ap: no modulated targets detected")
+		return nil, fmt.Errorf("ap: %w: no modulated targets detected", ErrNoDetection)
 	}
 	if len(peaks) > maxTargets {
 		peaks = peaks[:maxTargets]

@@ -99,7 +99,7 @@ func (s *System) Discover(cfg ScanConfig, seed int64) ([]NodeDetection, error) {
 		}
 	}
 	if len(all) == 0 {
-		return nil, fmt.Errorf("core: discovery scan found no nodes")
+		return nil, fmt.Errorf("core: %w: discovery scan found no nodes", ap.ErrNoDetection)
 	}
 	merged := clusterDetections(all, cfg.MergeRangeM, rfsim.DegToRad(cfg.MergeAngleDeg))
 	sort.Slice(merged, func(i, j int) bool { return merged[i].AzimuthRad < merged[j].AzimuthRad })

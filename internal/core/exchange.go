@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -10,6 +11,11 @@ import (
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
+
+// ErrRateUnsupported reports a requested data rate outside what the node's
+// hardware sustains — the switch-limited band of §9.5. Uplink errors wrap
+// it (the milback facade re-exports it as milback.ErrOutOfBand).
+var ErrRateUnsupported = errors.New("rate outside sustainable band")
 
 // DownlinkResult reports one AP→node payload transfer (§6.1/§6.2).
 type DownlinkResult struct {
@@ -153,7 +159,7 @@ func (s *System) Uplink(n *node.Node, orientationDeg float64, payload []byte,
 	tones := ap.SelectTonePair(n.FSA, orientationDeg)
 	symbolRate := bitRate / float64(tones.BitsPerSymbol())
 	if !n.SwitchA.CanSustainSymbolRate(symbolRate) {
-		return UplinkResult{}, fmt.Errorf("core: switches cannot sustain %g sym/s", symbolRate)
+		return UplinkResult{}, fmt.Errorf("core: %w: switches cannot sustain %g sym/s", ErrRateUnsupported, symbolRate)
 	}
 	ns := rfsim.NewNoiseSource(seed)
 

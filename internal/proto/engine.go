@@ -1,0 +1,318 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// The AP airtime scheduler.
+//
+// A MilBack AP serves one beam at a time: spatial-division multiplexing
+// means every packet, localization capture, or discovery sweep occupies the
+// simulated channel exclusively (§7). The Engine models that constraint as
+// a single scheduler goroutine that owns the channel. Callers from any
+// goroutine submit jobs; the scheduler queues them per node, grants slots
+// in per-node round-robin order (fair FIFO: a node draining a large backlog
+// cannot starve its neighbours), and executes one job at a time. Callers
+// block on their own job's completion, so any number of goroutines can run
+// their exchanges concurrently while the channel itself stays serialized.
+
+// Typed scheduler errors. The milback facade re-exports these so callers
+// can errors.Is against the public API.
+var (
+	// ErrCancelled reports that a job's context was cancelled or timed out
+	// before the scheduler granted it the channel. It always wraps the
+	// underlying context error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) also work.
+	ErrCancelled = errors.New("job cancelled")
+	// ErrClosed reports that the scheduler has been shut down.
+	ErrClosed = errors.New("scheduler closed")
+)
+
+// networkJobKey is the queue key for network-scope jobs (discovery sweeps,
+// scene mutations) that are not tied to one session.
+const networkJobKey = 0
+
+// EngineConfig parameterizes the scheduler.
+type EngineConfig struct {
+	// JobTimeout bounds each job's total time in the scheduler (queue wait
+	// plus execution start). Zero disables the scheduler-level timeout;
+	// callers can always impose their own via context deadlines. A job that
+	// has already started executing is not preempted — the simulated channel
+	// cannot abort mid-capture any more than a real radio can.
+	JobTimeout time.Duration
+	// QueueDepth is the submission channel buffer (default 64). Submissions
+	// beyond it block until the scheduler drains.
+	QueueDepth int
+}
+
+// queueWaitBounds are the upper edges of the queue-wait histogram buckets;
+// the last bucket is unbounded.
+var queueWaitBounds = [...]time.Duration{
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// QueueWaitBuckets is the number of queue-wait histogram buckets.
+const QueueWaitBuckets = len(queueWaitBounds) + 1
+
+// QueueWaitBucketBounds returns the histogram bucket upper bounds (the last
+// bucket, index QueueWaitBuckets-1, is unbounded).
+func QueueWaitBucketBounds() []time.Duration {
+	out := make([]time.Duration, len(queueWaitBounds))
+	copy(out, queueWaitBounds[:])
+	return out
+}
+
+// Stats is a snapshot of the scheduler's accounting.
+type Stats struct {
+	// Exchanges counts completed payload exchanges (packets, reliable
+	// transfers); Localizations counts completed standalone localization or
+	// orientation jobs.
+	Exchanges     uint64
+	Localizations uint64
+	// BitErrors and BitsSent total over all completed exchanges.
+	BitErrors uint64
+	BitsSent  uint64
+	// AirtimeS totals the simulated channel time of completed jobs.
+	AirtimeS float64
+	// Completed counts all jobs that ran to completion without error;
+	// Failed counts jobs whose execution returned an error; Cancelled
+	// counts jobs whose context expired before they reached the channel.
+	Completed uint64
+	Failed    uint64
+	Cancelled uint64
+	// QueueWait is a histogram of wall-clock queue waits of executed jobs
+	// (see QueueWaitBucketBounds).
+	QueueWait [QueueWaitBuckets]uint64
+}
+
+// JobReport is what an executed job tells the scheduler's accounting.
+type JobReport struct {
+	// Exchange marks the job as a payload exchange; Localization marks it
+	// as a standalone sensing job.
+	Exchange     bool
+	Localization bool
+	// BitErrors/BitsSent/AirtimeS feed the corresponding Stats totals.
+	BitErrors int
+	BitsSent  int
+	AirtimeS  float64
+}
+
+type job struct {
+	key      int
+	ctx      context.Context
+	enqueued time.Time
+	run      func() (JobReport, error)
+	done     chan error
+}
+
+// Engine is the AP airtime scheduler. Create it with NewEngine; all methods
+// are safe for concurrent use.
+type Engine struct {
+	cfg     EngineConfig
+	submit  chan *job
+	quit    chan struct{}
+	stopped chan struct{}
+	closing sync.Once
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewEngine starts a scheduler goroutine and returns its handle. Close it
+// when done to release the goroutine.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	e := &Engine{
+		cfg:     cfg,
+		submit:  make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go e.loop()
+	return e
+}
+
+// Close shuts the scheduler down. Queued jobs fail with ErrClosed; the
+// running job (if any) completes first. Close is idempotent.
+func (e *Engine) Close() {
+	e.closing.Do(func() { close(e.quit) })
+	<-e.stopped
+}
+
+// Stats returns a snapshot of the scheduler's accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run submits fn as a job on the given queue key and blocks until the
+// scheduler has executed it (returning fn's error), the context is
+// cancelled (ErrCancelled wrapping the context error), or the scheduler is
+// closed (ErrClosed). key groups jobs into per-node FIFO queues for the
+// round-robin grant; use a session's id, or networkJobKey for
+// network-scope work.
+func (e *Engine) Run(ctx context.Context, key int, fn func() (JobReport, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.JobTimeout)
+		defer cancel()
+	}
+	j := &job{
+		key:      key,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		run:      fn,
+		done:     make(chan error, 1),
+	}
+	select {
+	case e.submit <- j:
+	case <-e.quit:
+		return ErrClosed
+	case <-ctx.Done():
+		e.noteCancelled()
+		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		// The scheduler observes the dead context before executing the job
+		// (and counts the cancellation there); don't wait for it.
+		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+	case <-e.stopped:
+		return ErrClosed
+	}
+}
+
+// loop is the scheduler goroutine: it owns the simulated channel and all
+// queue state, so none of it needs locking.
+func (e *Engine) loop() {
+	defer close(e.stopped)
+	queues := make(map[int][]*job)
+	var ring []int // keys with pending jobs, in grant order
+	pending := 0
+	enqueue := func(j *job) {
+		if len(queues[j.key]) == 0 {
+			ring = append(ring, j.key)
+		}
+		queues[j.key] = append(queues[j.key], j)
+		pending++
+	}
+	failAll := func(err error) {
+		for _, q := range queues {
+			for _, j := range q {
+				j.done <- err
+			}
+		}
+		for {
+			select {
+			case j := <-e.submit:
+				j.done <- err
+			default:
+				return
+			}
+		}
+	}
+	for {
+		if pending == 0 {
+			select {
+			case j := <-e.submit:
+				enqueue(j)
+			case <-e.quit:
+				failAll(ErrClosed)
+				return
+			}
+			continue
+		}
+		// Absorb every submission already waiting, so late arrivals enter
+		// the round-robin before the next slot is granted.
+		for absorbed := false; !absorbed; {
+			select {
+			case j := <-e.submit:
+				enqueue(j)
+			default:
+				absorbed = true
+			}
+		}
+		// Grant the channel to the head of the next queue in the ring.
+		key := ring[0]
+		ring = ring[1:]
+		q := queues[key]
+		j := q[0]
+		if len(q) == 1 {
+			delete(queues, key)
+		} else {
+			queues[key] = q[1:]
+			ring = append(ring, key) // still pending: back of the ring
+		}
+		pending--
+		e.execute(j)
+		select {
+		case <-e.quit:
+			failAll(ErrClosed)
+			return
+		default:
+		}
+	}
+}
+
+// execute runs one granted job and folds its report into the stats.
+func (e *Engine) execute(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		e.noteCancelled()
+		j.done <- fmt.Errorf("%w: %w", ErrCancelled, err)
+		return
+	}
+	wait := time.Since(j.enqueued)
+	rep, err := j.run()
+	e.mu.Lock()
+	e.noteWaitLocked(wait)
+	if err != nil {
+		e.stats.Failed++
+	} else {
+		e.stats.Completed++
+		if rep.Exchange {
+			e.stats.Exchanges++
+		}
+		if rep.Localization {
+			e.stats.Localizations++
+		}
+		e.stats.BitErrors += uint64(rep.BitErrors)
+		e.stats.BitsSent += uint64(rep.BitsSent)
+		e.stats.AirtimeS += rep.AirtimeS
+	}
+	e.mu.Unlock()
+	j.done <- err
+}
+
+func (e *Engine) noteCancelled() {
+	e.mu.Lock()
+	e.stats.Cancelled++
+	e.mu.Unlock()
+}
+
+func (e *Engine) noteWaitLocked(wait time.Duration) {
+	for i, bound := range queueWaitBounds {
+		if wait < bound {
+			e.stats.QueueWait[i]++
+			return
+		}
+	}
+	e.stats.QueueWait[QueueWaitBuckets-1]++
+}

@@ -1,0 +1,233 @@
+package proto
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEngineRunsJobsAndAccounts(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		err := e.Run(context.Background(), 1, func() (JobReport, error) {
+			return JobReport{Exchange: true, BitErrors: 2, BitsSent: 100, AirtimeS: 0.25}, nil
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	st := e.Stats()
+	if st.Exchanges != 5 || st.Completed != 5 {
+		t.Fatalf("exchanges/completed = %d/%d, want 5/5", st.Exchanges, st.Completed)
+	}
+	if st.BitErrors != 10 || st.BitsSent != 500 {
+		t.Fatalf("bit totals = %d/%d, want 10/500", st.BitErrors, st.BitsSent)
+	}
+	if st.AirtimeS != 1.25 {
+		t.Fatalf("airtime = %g, want 1.25", st.AirtimeS)
+	}
+	var waits uint64
+	for _, n := range st.QueueWait {
+		waits += n
+	}
+	if waits != 5 {
+		t.Fatalf("queue-wait histogram holds %d entries, want 5", waits)
+	}
+}
+
+func TestEngineFailedJobCounted(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+	boom := errors.New("boom")
+	if err := e.Run(context.Background(), 1, func() (JobReport, error) {
+		return JobReport{}, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := e.Stats(); st.Failed != 1 || st.Completed != 0 {
+		t.Fatalf("failed/completed = %d/%d, want 1/0", st.Failed, st.Completed)
+	}
+}
+
+// Round-robin fairness: while node 1 floods the queue, a single job from
+// node 2 must be granted the second slot, not wait behind the backlog.
+func TestEngineRoundRobinFairness(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []int
+	record := func(key int) func() (JobReport, error) {
+		return func() (JobReport, error) {
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+			return JobReport{}, nil
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// First job holds the channel until the rest of the backlog is queued.
+		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+			<-gate
+			return JobReport{}, nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the blocker reach the scheduler
+
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.Run(context.Background(), 1, record(1))
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // node 1's backlog queued first
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Run(context.Background(), 2, record(2))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if len(order) != 5 {
+		t.Fatalf("executed %d jobs, want 5", len(order))
+	}
+	// The single node-2 job must not come last: round-robin interleaves it
+	// ahead of node 1's remaining backlog.
+	if order[len(order)-1] == 2 {
+		t.Fatalf("node 2 starved behind node 1's backlog: order %v", order)
+	}
+}
+
+func TestEngineCancelWhileQueued(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+			close(started)
+			<-gate
+			return JobReport{}, nil
+		})
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errc <- e.Run(ctx, 2, func() (JobReport, error) {
+			t.Error("cancelled job must not execute")
+			return JobReport{}, nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	err := <-errc
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+	close(gate)
+	wg.Wait()
+	if st := e.Stats(); st.Cancelled == 0 {
+		t.Fatal("cancellation not counted")
+	}
+}
+
+func TestEngineJobTimeout(t *testing.T) {
+	e := NewEngine(EngineConfig{JobTimeout: 20 * time.Millisecond})
+	defer e.Close()
+
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+			close(started)
+			<-gate
+			return JobReport{}, nil
+		})
+	}()
+	<-started
+
+	err := e.Run(context.Background(), 2, func() (JobReport, error) {
+		t.Error("timed-out job must not execute")
+		return JobReport{}, nil
+	})
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping DeadlineExceeded", err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+func TestEngineClose(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	e.Close()
+	e.Close() // idempotent
+	err := e.Run(context.Background(), 1, func() (JobReport, error) {
+		t.Error("job must not run after Close")
+		return JobReport{}, nil
+	})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEngineConcurrentSubmitters(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+	var executing, max int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(key int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				err := e.Run(context.Background(), key, func() (JobReport, error) {
+					mu.Lock()
+					executing++
+					if executing > max {
+						max = executing
+					}
+					mu.Unlock()
+					time.Sleep(100 * time.Microsecond) // widen the overlap window
+					mu.Lock()
+					executing--
+					mu.Unlock()
+					return JobReport{Exchange: true}, nil
+				})
+				if err != nil {
+					t.Errorf("key %d: %v", key, err)
+					return
+				}
+			}
+		}(g + 1)
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("observed %d jobs on the channel at once; SDM allows 1", max)
+	}
+	if st := e.Stats(); st.Exchanges != 80 {
+		t.Fatalf("exchanges = %d, want 80", st.Exchanges)
+	}
+}

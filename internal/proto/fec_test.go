@@ -175,7 +175,7 @@ func TestFECValidation(t *testing.T) {
 
 func TestSendFECEndToEnd(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(5)), -10, 95)
+	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(5)), -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestFECExtendsUsableRange(t *testing.T) {
 	// CRC most of the time while FEC repairs the scattered errors. Compare
 	// success counts over several seeds.
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(8.6, 0), -10, 97)
+	s, err := net.Join(rfsim.PolarPoint(8.6, 0), -10)
 	if err != nil {
 		t.Fatal(err)
 	}

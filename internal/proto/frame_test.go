@@ -67,7 +67,7 @@ func TestCRC16KnownValue(t *testing.T) {
 
 func TestSendReliableSucceedsOnGoodLink(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(5)), -10, 61)
+	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(5)), -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestSendReliableRetriesOnWeakLink(t *testing.T) {
 	// hold is: (a) no corrupted payload is ever delivered, (b) failures are
 	// reported, (c) retries happen.
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(9.5, 0), -10, 63)
+	s, err := net.Join(rfsim.PolarPoint(9.5, 0), -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestSendReliableRetriesOnWeakLink(t *testing.T) {
 
 func TestSendReliableValidation(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, 5, 65)
+	s, err := net.Join(rfsim.Point{X: 2}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestSendReliableValidation(t *testing.T) {
 
 func TestFrameSeqIncrements(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, -10, 67)
+	s, err := net.Join(rfsim.Point{X: 2}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +208,11 @@ func TestRateControllerValidation(t *testing.T) {
 
 func TestAdaptUplinkEndToEnd(t *testing.T) {
 	net := testNetwork(t)
-	near, err := net.Join(rfsim.Point{X: 1.5}, -10, 71)
+	near, err := net.Join(rfsim.Point{X: 1.5}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	far, err := net.Join(rfsim.Point{X: 9}, -10, 72)
+	far, err := net.Join(rfsim.Point{X: 9}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}

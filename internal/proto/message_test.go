@@ -11,7 +11,7 @@ import (
 
 func TestSendMessageReassembles(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(-5)), -10, 81)
+	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(-5)), -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func TestSendMessageReassembles(t *testing.T) {
 
 func TestSendMessageValidation(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, 5, 83)
+	s, err := net.Join(rfsim.Point{X: 2}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestSendMessageValidation(t *testing.T) {
 
 func TestSendMessageAbortsOnDeadLink(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 4}, -10, 85)
+	s, err := net.Join(rfsim.Point{X: 4}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}

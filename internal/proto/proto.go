@@ -11,11 +11,23 @@
 // Multiple nodes are served by spatial-division multiplexing: the AP steers
 // its beams at one node per packet and schedules packets round-robin
 // ("MilBack can potentially support multiple nodes by using spatial
-// division multiplexing", §7).
+// division multiplexing", §7). The Network type makes that scheduling
+// concurrent: an airtime-scheduler goroutine (Engine) owns the simulated
+// channel, sessions submit jobs from any goroutine, and each session draws
+// its noise from its own deterministic SeedStream — so results are
+// bit-identical regardless of how caller goroutines interleave.
+//
+// Concurrency contract: the *Context methods on Network are safe for
+// concurrent use. Direct Session method calls (RunPacket, SendReliable, …)
+// execute on the caller's goroutine without scheduling and are only safe
+// when nothing else touches the Network concurrently.
 package proto
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/node"
@@ -53,43 +65,62 @@ func (p PacketOutcome) BER() float64 {
 	return float64(p.BitErrors) / float64(p.BitsSent)
 }
 
-// Session is the AP's per-node protocol state.
+// Session is the AP's per-node protocol state. Each session owns its seed
+// stream: operation k of session i draws the same noise whatever any other
+// session does, which is what makes concurrent exchanges deterministic.
 type Session struct {
 	sys  *core.System
 	node *node.Node
+	id   int
 	// LastOutcome caches the most recent packet outcome (tracking state).
 	LastOutcome *PacketOutcome
-	seed        int64
+	rng         SeedStream
 	frameSeq    int
 }
 
-// NewSession binds a node to the system's AP.
+// NewSession binds a node to the system's AP with the given stream seed.
 func NewSession(sys *core.System, n *node.Node, seed int64) (*Session, error) {
 	if sys == nil || n == nil {
 		return nil, fmt.Errorf("proto: nil system or node")
 	}
-	return &Session{sys: sys, node: n, seed: seed}, nil
+	return &Session{sys: sys, node: n, rng: NewSeedStream(seed)}, nil
 }
 
-// nextSeed derives a fresh deterministic seed per phase.
+// ID returns the session's scheduler queue key (join order, starting at 1;
+// 0 is reserved for network-scope jobs).
+func (s *Session) ID() int { return s.id }
+
+// nextSeed draws the session's next deterministic operation seed.
 func (s *Session) nextSeed() int64 {
-	s.seed = s.seed*6364136223846793005 + 1442695040888963407
-	return s.seed
+	return s.rng.Next()
 }
 
 // localizationSwitchRate is the node's Field-2 toggle rate (§5.1: 10 kHz).
 const localizationSwitchRate = 10e3
 
-// RunPacket executes one complete packet. For downlink, payload is what the
-// AP sends and the outcome's Payload is what the node decoded; for uplink,
-// payload is the node's data and the outcome's Payload is what the AP
-// decoded. rate is the payload data rate in bits/s.
+// RunPacket executes one complete packet on the caller's goroutine. For
+// downlink, payload is what the AP sends and the outcome's Payload is what
+// the node decoded; for uplink, payload is the node's data and the
+// outcome's Payload is what the AP decoded. rate is the payload data rate
+// in bits/s.
 func (s *Session) RunPacket(dir waveform.Direction, payload []byte, rate float64) (PacketOutcome, error) {
+	return s.RunPacketContext(context.Background(), dir, payload, rate)
+}
+
+// RunPacketContext is RunPacket with cancellation checks between the packet
+// phases (Field 1, Field 2, payload). A cancellation mid-packet abandons
+// the remainder and returns ErrCancelled wrapping the context error; the
+// session's seed stream still advances past the abandoned phases' draws
+// only up to the point reached.
+func (s *Session) RunPacketContext(ctx context.Context, dir waveform.Direction, payload []byte, rate float64) (PacketOutcome, error) {
 	if len(payload) == 0 {
 		return PacketOutcome{}, fmt.Errorf("proto: empty payload")
 	}
 	if rate <= 0 {
 		return PacketOutcome{}, fmt.Errorf("proto: rate must be positive, got %g", rate)
+	}
+	if err := ctx.Err(); err != nil {
+		return PacketOutcome{}, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 	spec := waveform.DefaultPacketSpec(dir, 0)
 	s.sys.AP.Steer(s.node.AzimuthRad())
@@ -110,11 +141,17 @@ func (s *Session) RunPacket(dir waveform.Direction, payload []byte, rate float64
 	if err != nil {
 		return PacketOutcome{}, fmt.Errorf("proto: field 1 orientation: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return PacketOutcome{}, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
 
 	// ---- Field 2: AP localization + orientation ----
 	loc, err := s.sys.Localize(s.node, s.nextSeed())
 	if err != nil {
 		return PacketOutcome{}, fmt.Errorf("proto: field 2: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return PacketOutcome{}, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 
 	// ---- Payload ----
@@ -166,37 +203,91 @@ func (s *Session) RunPacket(dir waveform.Direction, payload []byte, rate float64
 	return out, nil
 }
 
-// Network serves multiple nodes with SDM round-robin scheduling.
+// Network serves multiple nodes with SDM scheduling: every *Context call is
+// a job granted the simulated channel by the airtime scheduler, so any
+// number of goroutines can exchange packets concurrently.
 type Network struct {
-	sys      *core.System
+	sys        *core.System
+	baseSeed   int64
+	jobTimeout time.Duration
+
+	mu       sync.Mutex
 	sessions []*Session
 	next     int
+	netRNG   SeedStream
+
+	engOnce sync.Once
+	eng     *Engine
 }
 
-// NewNetwork wraps a system.
+// NewNetwork wraps a system with base seed 1 and no job timeout.
 func NewNetwork(sys *core.System) *Network {
-	return &Network{sys: sys}
+	return NewNetworkSeeded(sys, 1, 0)
+}
+
+// NewNetworkSeeded wraps a system. baseSeed roots every session's seed
+// stream; jobTimeout (0 = none) bounds each scheduled job's time in the
+// scheduler (see EngineConfig.JobTimeout).
+func NewNetworkSeeded(sys *core.System, baseSeed int64, jobTimeout time.Duration) *Network {
+	return &Network{
+		sys:        sys,
+		baseSeed:   baseSeed,
+		jobTimeout: jobTimeout,
+		netRNG:     NewSeedStream(DeriveSessionSeed(baseSeed, networkJobKey)),
+	}
 }
 
 // System returns the underlying system.
 func (n *Network) System() *core.System { return n.sys }
 
-// Join creates a session for a node placed at pos/orientation.
-func (n *Network) Join(pos rfsim.Point, orientationDeg float64, seed int64) (*Session, error) {
+// engine lazily starts the airtime scheduler.
+func (n *Network) engine() *Engine {
+	n.engOnce.Do(func() {
+		n.eng = NewEngine(EngineConfig{JobTimeout: n.jobTimeout})
+	})
+	return n.eng
+}
+
+// Close shuts the airtime scheduler down. Queued jobs fail with ErrClosed;
+// subsequent *Context calls fail the same way. Idempotent.
+func (n *Network) Close() {
+	n.engine().Close()
+}
+
+// Stats returns a snapshot of the scheduler's accounting.
+func (n *Network) Stats() Stats {
+	return n.engine().Stats()
+}
+
+// Join creates a session for a node placed at pos/orientation. The
+// session's seed stream derives from the network base seed and the node's
+// join index, so per-node noise is independent of every other node's
+// activity. Safe for concurrent use.
+func (n *Network) Join(pos rfsim.Point, orientationDeg float64) (*Session, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	nd, err := n.sys.AddNode(pos, orientationDeg)
 	if err != nil {
 		return nil, err
 	}
-	s, err := NewSession(n.sys, nd, seed)
+	id := len(n.sessions) + 1 // 0 is the network-scope queue key
+	s, err := NewSession(n.sys, nd, DeriveSessionSeed(n.baseSeed, id))
 	if err != nil {
 		return nil, err
 	}
+	s.id = id
 	n.sessions = append(n.sessions, s)
 	return s, nil
 }
 
-// Sessions returns all sessions in join order.
-func (n *Network) Sessions() []*Session { return n.sessions }
+// Sessions returns a snapshot of all sessions in join order.
+func (n *Network) Sessions() []*Session {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Session, len(n.sessions))
+	copy(out, n.sessions)
+	return out
+}
 
 // Node returns a session's node.
 func (s *Session) Node() *node.Node { return s.node }
@@ -204,6 +295,8 @@ func (s *Session) Node() *node.Node { return s.node }
 // NextSession returns the next session in round-robin order (SDM: the AP
 // steers at one node at a time). It returns nil for an empty network.
 func (n *Network) NextSession() *Session {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if len(n.sessions) == 0 {
 		return nil
 	}
@@ -212,14 +305,107 @@ func (n *Network) NextSession() *Session {
 	return s
 }
 
-// PollAll runs one packet per node in round-robin order, returning the
-// outcomes in session order. A per-node error aborts and is returned with
-// the node index for diagnosis.
+// ExchangeContext runs one full protocol packet for the session through the
+// airtime scheduler: the calling goroutine blocks until the AP grants the
+// session its slot and the packet completes, the context is cancelled
+// (ErrCancelled), or the network is closed (ErrClosed).
+func (n *Network) ExchangeContext(ctx context.Context, s *Session, dir waveform.Direction,
+	payload []byte, rate float64) (PacketOutcome, error) {
+	var out PacketOutcome
+	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
+		o, err := s.RunPacketContext(ctx, dir, payload, rate)
+		if err != nil {
+			return JobReport{}, err
+		}
+		out = o
+		return JobReport{
+			Exchange:  true,
+			BitErrors: o.BitErrors,
+			BitsSent:  o.BitsSent,
+			AirtimeS:  o.AirtimeS,
+		}, nil
+	})
+	return out, err
+}
+
+// LocalizeContext runs the AP-side §5 localization pipeline for the session
+// through the airtime scheduler.
+func (n *Network) LocalizeContext(ctx context.Context, s *Session) (core.LocalizationOutcome, error) {
+	var out core.LocalizationOutcome
+	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
+		o, err := s.sys.Localize(s.node, s.nextSeed())
+		if err != nil {
+			return JobReport{}, err
+		}
+		out = o
+		return JobReport{Localization: true}, nil
+	})
+	return out, err
+}
+
+// SenseOrientationContext runs the node-side §5.2b orientation estimation
+// through the airtime scheduler.
+func (n *Network) SenseOrientationContext(ctx context.Context, s *Session) (node.OrientationResult, error) {
+	var out node.OrientationResult
+	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
+		o, err := s.sys.SenseOrientationAtNode(s.node, s.nextSeed())
+		if err != nil {
+			return JobReport{}, err
+		}
+		out = o
+		return JobReport{Localization: true}, nil
+	})
+	return out, err
+}
+
+// MoveContext repositions the session's node through the airtime scheduler,
+// so a teleport never races a capture in flight.
+func (n *Network) MoveContext(ctx context.Context, s *Session, pos rfsim.Point, orientationDeg float64) error {
+	return n.engine().Run(ctx, s.id, func() (JobReport, error) {
+		s.node.Position = pos
+		s.node.OrientationDeg = orientationDeg
+		return JobReport{}, nil
+	})
+}
+
+// DiscoverContext runs a discovery sweep through the airtime scheduler as a
+// network-scope job, drawing its seed from the network's own stream.
+func (n *Network) DiscoverContext(ctx context.Context, cfg core.ScanConfig) ([]core.NodeDetection, error) {
+	var dets []core.NodeDetection
+	err := n.engine().Run(ctx, networkJobKey, func() (JobReport, error) {
+		n.mu.Lock()
+		seed := n.netRNG.Next()
+		n.mu.Unlock()
+		var err error
+		dets, err = n.sys.Discover(cfg, seed)
+		return JobReport{Localization: true}, err
+	})
+	return dets, err
+}
+
+// RunSessionJobContext grants fn exclusive use of the simulated channel on
+// the session's queue — the hook multi-packet operations (ARQ transfers,
+// FEC packets, rate probes) use to stay serialized with everything else.
+// fn's report feeds the scheduler stats.
+func (n *Network) RunSessionJobContext(ctx context.Context, s *Session, fn func() (JobReport, error)) error {
+	return n.engine().Run(ctx, s.id, fn)
+}
+
+// RunNetworkJobContext is RunSessionJobContext on the network-scope queue
+// (scene mutations, cell-wide maintenance).
+func (n *Network) RunNetworkJobContext(ctx context.Context, fn func() (JobReport, error)) error {
+	return n.engine().Run(ctx, networkJobKey, fn)
+}
+
+// PollAll runs one packet per node in round-robin order through the
+// scheduler, returning the outcomes in session order. A per-node error
+// aborts and is returned with the node index for diagnosis.
 func (n *Network) PollAll(dir waveform.Direction, payload []byte, rate float64) ([]PacketOutcome, error) {
-	out := make([]PacketOutcome, 0, len(n.sessions))
-	for i := range n.sessions {
+	sessions := n.Sessions()
+	out := make([]PacketOutcome, 0, len(sessions))
+	for i := range sessions {
 		s := n.NextSession()
-		o, err := s.RunPacket(dir, payload, rate)
+		o, err := n.ExchangeContext(context.Background(), s, dir, payload, rate)
 		if err != nil {
 			return out, fmt.Errorf("proto: node %d: %w", i, err)
 		}

@@ -24,7 +24,7 @@ func TestSessionValidation(t *testing.T) {
 		t.Fatal("nil args should fail")
 	}
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, 5, 1)
+	s, err := net.Join(rfsim.Point{X: 2}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestSessionValidation(t *testing.T) {
 
 func TestDownlinkPacketEndToEnd(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(3, rfsim.DegToRad(6)), -12, 42)
+	s, err := net.Join(rfsim.PolarPoint(3, rfsim.DegToRad(6)), -12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestDownlinkPacketEndToEnd(t *testing.T) {
 
 func TestUplinkPacketEndToEnd(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(-10)), 8, 77)
+	s, err := net.Join(rfsim.PolarPoint(2.5, rfsim.DegToRad(-10)), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestUplinkCostsMoreEnergyPerSecondThanDownlink(t *testing.T) {
 	// 18 mW. With equal payload sizes and rates, the uplink packet must
 	// consume more node energy.
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, -10, 5)
+	s, err := net.Join(rfsim.Point{X: 2}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestUplinkCostsMoreEnergyPerSecondThanDownlink(t *testing.T) {
 
 func TestAirtimeAccounting(t *testing.T) {
 	net := testNetwork(t)
-	s, err := net.Join(rfsim.Point{X: 2}, -10, 6)
+	s, err := net.Join(rfsim.Point{X: 2}, -10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,8 +153,8 @@ func TestNetworkRoundRobinSDM(t *testing.T) {
 		{rfsim.PolarPoint(4, rfsim.DegToRad(0)), -8},
 		{rfsim.PolarPoint(3, rfsim.DegToRad(20)), 0},
 	}
-	for i, p := range positions {
-		if _, err := net.Join(p.pos, p.orient, int64(i+1)); err != nil {
+	for _, p := range positions {
+		if _, err := net.Join(p.pos, p.orient); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -178,14 +178,14 @@ func TestNetworkRoundRobinSDM(t *testing.T) {
 
 func TestPollAllServesEveryNode(t *testing.T) {
 	net := testNetwork(t)
-	for i, p := range []struct {
+	for _, p := range []struct {
 		pos    rfsim.Point
 		orient float64
 	}{
 		{rfsim.PolarPoint(2, rfsim.DegToRad(-12)), 8},
 		{rfsim.PolarPoint(3.5, rfsim.DegToRad(14)), -15},
 	} {
-		if _, err := net.Join(p.pos, p.orient, int64(100+i)); err != nil {
+		if _, err := net.Join(p.pos, p.orient); err != nil {
 			t.Fatal(err)
 		}
 	}

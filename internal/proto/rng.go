@@ -1,0 +1,60 @@
+package proto
+
+// Per-session deterministic seed streams.
+//
+// Every randomized operation in the simulator draws its noise from a seed,
+// and the facade used to mint those seeds from one shared counter — which
+// made results depend on the global order of API calls and made concurrent
+// callers race. A SeedStream instead derives each operation's seed from
+// (network base seed, stream id, operation counter) through SplitMix64, so
+// a session's k-th operation sees the same noise no matter what any other
+// session is doing. Streams with different ids are statistically
+// independent; the same (base, id, k) triple always yields the same seed.
+
+// splitmix64Gamma is Weyl-sequence increment of SplitMix64 (the fractional
+// part of the golden ratio in 64-bit fixed point).
+const splitmix64Gamma = 0x9E3779B97F4A7C15
+
+// splitmix64 advances x by the SplitMix64 gamma and applies the finalizer
+// (Steele, Lea & Flood, "Fast splittable pseudorandom number generators").
+func splitmix64(x uint64) uint64 {
+	x += splitmix64Gamma
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// SeedStream is a deterministic, splittable stream of operation seeds. The
+// zero value is usable but corresponds to base state 0; construct streams
+// with NewSeedStream or DeriveSessionSeed so different owners never share a
+// state.
+type SeedStream struct {
+	state uint64
+	ctr   uint64
+}
+
+// NewSeedStream returns a stream rooted at the given seed.
+func NewSeedStream(seed int64) SeedStream {
+	return SeedStream{state: splitmix64(uint64(seed))}
+}
+
+// Next returns the stream's next operation seed. Seeds are non-negative so
+// they read naturally in logs; the low 62 bits are fully mixed.
+func (s *SeedStream) Next() int64 {
+	s.ctr++
+	return int64(splitmix64(s.state+s.ctr*splitmix64Gamma) >> 1)
+}
+
+// Drawn reports how many seeds the stream has produced (diagnostic).
+func (s *SeedStream) Drawn() uint64 { return s.ctr }
+
+// DeriveSessionSeed mixes a network base seed with a per-node stream id into
+// the root seed of that node's session stream. Distinct ids land in
+// unrelated SplitMix64 states, so joining or operating one node never
+// perturbs another node's noise.
+func DeriveSessionSeed(networkSeed int64, streamID int) int64 {
+	h := splitmix64(uint64(networkSeed))
+	h = splitmix64(h ^ splitmix64(uint64(int64(streamID))))
+	return int64(h >> 1)
+}

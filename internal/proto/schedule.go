@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/waveform"
@@ -40,7 +41,8 @@ type SuperframeResult struct {
 // aborting the frame — one broken node must not stall the cell.
 func (n *Network) RunSuperframe(dir waveform.Direction, payloadBytes, rounds int,
 	rate float64) (SuperframeResult, error) {
-	if len(n.sessions) == 0 {
+	sessions := n.Sessions()
+	if len(sessions) == 0 {
 		return SuperframeResult{}, fmt.Errorf("proto: superframe over an empty network")
 	}
 	if payloadBytes < 1 || rounds < 1 {
@@ -50,14 +52,14 @@ func (n *Network) RunSuperframe(dir waveform.Direction, payloadBytes, rounds int
 	if rate <= 0 {
 		return SuperframeResult{}, fmt.Errorf("proto: rate must be positive, got %g", rate)
 	}
-	res := SuperframeResult{PerNode: make([]NodeStats, len(n.sessions))}
+	res := SuperframeResult{PerNode: make([]NodeStats, len(sessions))}
 	payload := make([]byte, payloadBytes)
 	for i := range payload {
 		payload[i] = byte(i * 37)
 	}
 	for r := 0; r < rounds; r++ {
-		for i, s := range n.sessions {
-			out, err := s.RunPacket(dir, payload, rate)
+		for i, s := range sessions {
+			out, err := n.ExchangeContext(context.Background(), s, dir, payload, rate)
 			st := &res.PerNode[i]
 			if err != nil {
 				// Failed slot: charge a nominal preamble airtime so a dead

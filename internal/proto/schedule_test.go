@@ -18,8 +18,8 @@ func TestSuperframeFairAndThroughput(t *testing.T) {
 		{rfsim.PolarPoint(3, rfsim.DegToRad(5)), -8},
 		{rfsim.PolarPoint(4, rfsim.DegToRad(20)), 12},
 	}
-	for i, p := range placements {
-		if _, err := net.Join(p.pos, p.orient, int64(500+i)); err != nil {
+	for _, p := range placements {
+		if _, err := net.Join(p.pos, p.orient); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,10 +60,10 @@ func TestSuperframeFairAndThroughput(t *testing.T) {
 
 func TestSuperframeSurvivesBlockedNode(t *testing.T) {
 	net := testNetwork(t)
-	if _, err := net.Join(rfsim.Point{X: 2}, -10, 510); err != nil {
+	if _, err := net.Join(rfsim.Point{X: 2}, -10); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := net.Join(rfsim.PolarPoint(4, rfsim.DegToRad(25)), 8, 511); err != nil {
+	if _, err := net.Join(rfsim.PolarPoint(4, rfsim.DegToRad(25)), 8); err != nil {
 		t.Fatal(err)
 	}
 	// Block node 0's bearing only (node 1 at 25° passes x=1 at y≈0.47,
@@ -96,7 +96,7 @@ func TestSuperframeValidation(t *testing.T) {
 	if _, err := net.RunSuperframe(waveform.Uplink, 16, 1, 10e6); err == nil {
 		t.Error("empty network should fail")
 	}
-	if _, err := net.Join(rfsim.Point{X: 2}, -10, 520); err != nil {
+	if _, err := net.Join(rfsim.Point{X: 2}, -10); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := net.RunSuperframe(waveform.Uplink, 0, 1, 10e6); err == nil {

@@ -1,0 +1,197 @@
+package milback
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// eight well-separated placements inside the paper's operating envelope.
+var concurrencyPlacements = []struct {
+	x, y, orient float64
+}{
+	{2.0, -1.2, 10},
+	{2.5, -0.6, -8},
+	{3.0, -0.2, 5},
+	{2.8, 0.3, -12},
+	{2.2, 0.8, 0},
+	{3.2, 1.0, 8},
+	{2.6, 1.6, -5},
+	{3.4, -1.6, 12},
+}
+
+func concurrencyNetwork(t *testing.T) (*Network, []*Node) {
+	t.Helper()
+	net, err := NewNetwork(WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, len(concurrencyPlacements))
+	for i, p := range concurrencyPlacements {
+		n, err := net.Join(p.x, p.y, p.orient)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		nodes[i] = n
+	}
+	return net, nodes
+}
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf("node-%d-payload", i))
+}
+
+// 8 goroutines exchanging on distinct nodes must complete correctly under
+// the race detector, and — because every node draws from its own seed
+// stream — produce results bit-identical to a sequential run on an
+// identically-seeded network.
+func TestConcurrentExchangesDeterministic(t *testing.T) {
+	// Reference: sequential run.
+	_, seqNodes := concurrencyNetwork(t)
+	want := make([]Exchange, len(seqNodes))
+	for i, n := range seqNodes {
+		ex, err := n.Send(payloadFor(i), Rate10Mbps)
+		if err != nil {
+			t.Fatalf("sequential send %d: %v", i, err)
+		}
+		want[i] = ex
+	}
+
+	// Same network, 8 goroutines racing for the beam.
+	_, nodes := concurrencyNetwork(t)
+	got := make([]Exchange, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			got[i], errs[i] = n.Send(payloadFor(i), Rate10Mbps)
+		}(i, n)
+	}
+	wg.Wait()
+
+	for i := range nodes {
+		if errs[i] != nil {
+			t.Fatalf("concurrent send %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("node %d: payload differs between sequential and concurrent runs", i)
+		}
+		if got[i].BitErrors != want[i].BitErrors {
+			t.Errorf("node %d: bit errors %d (concurrent) vs %d (sequential)", i, got[i].BitErrors, want[i].BitErrors)
+		}
+		if got[i].Position != want[i].Position {
+			t.Errorf("node %d: fix differs: %+v vs %+v", i, got[i].Position, want[i].Position)
+		}
+		if got[i].SNRdB != want[i].SNRdB {
+			t.Errorf("node %d: SNR %g vs %g", i, got[i].SNRdB, want[i].SNRdB)
+		}
+	}
+}
+
+// Two concurrent runs with the same seed must agree with each other no
+// matter how the goroutines interleave.
+func TestConcurrentRunsReproducible(t *testing.T) {
+	run := func() []Exchange {
+		_, nodes := concurrencyNetwork(t)
+		out := make([]Exchange, len(nodes))
+		var wg sync.WaitGroup
+		for i, n := range nodes {
+			wg.Add(1)
+			go func(i int, n *Node) {
+				defer wg.Done()
+				ex, err := n.Deliver(payloadFor(i), Rate36Mbps)
+				if err != nil {
+					t.Errorf("deliver %d: %v", i, err)
+					return
+				}
+				out[i] = ex
+			}(i, n)
+		}
+		wg.Wait()
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].BitErrors != b[i].BitErrors || !bytes.Equal(a[i].Data, b[i].Data) || a[i].Position != b[i].Position {
+			t.Errorf("node %d: runs diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Network.Stats totals must equal the sums over the individual exchange
+// results.
+func TestStatsMatchPerExchangeSums(t *testing.T) {
+	net, nodes := concurrencyNetwork(t)
+	var wantErrors, wantBits uint64
+	var wantAirtime float64
+	count := 0
+	for round := 0; round < 2; round++ {
+		for i, n := range nodes {
+			ex, err := n.Send(payloadFor(i), Rate10Mbps)
+			if err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			wantErrors += uint64(ex.BitErrors)
+			wantBits += uint64(ex.BitsSent)
+			wantAirtime += ex.AirtimeS
+			count++
+		}
+	}
+	st := net.Stats()
+	if st.Exchanges != uint64(count) || st.Completed != uint64(count) {
+		t.Fatalf("exchanges/completed = %d/%d, want %d", st.Exchanges, st.Completed, count)
+	}
+	if st.BitErrors != wantErrors || st.BitsSent != wantBits {
+		t.Fatalf("bit totals %d/%d, want %d/%d", st.BitErrors, st.BitsSent, wantErrors, wantBits)
+	}
+	if math.Abs(st.AirtimeS-wantAirtime) > 1e-9 {
+		t.Fatalf("airtime %g, want %g", st.AirtimeS, wantAirtime)
+	}
+	var waits uint64
+	for _, n := range st.QueueWait {
+		waits += n
+	}
+	if waits != uint64(count) {
+		t.Fatalf("queue-wait histogram holds %d entries, want %d", waits, count)
+	}
+	if st.Failed != 0 || st.Cancelled != 0 {
+		t.Fatalf("failed/cancelled = %d/%d, want 0/0", st.Failed, st.Cancelled)
+	}
+}
+
+// Mixed concurrent operations — exchanges, localizations, moves — on
+// distinct nodes must all complete under the race detector.
+func TestConcurrentMixedOperations(t *testing.T) {
+	_, nodes := concurrencyNetwork(t)
+	var wg sync.WaitGroup
+	for i, n := range nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			switch i % 4 {
+			case 0:
+				if _, err := n.Send(payloadFor(i), Rate10Mbps); err != nil {
+					t.Errorf("send %d: %v", i, err)
+				}
+			case 1:
+				if _, err := n.Deliver(payloadFor(i), Rate36Mbps); err != nil {
+					t.Errorf("deliver %d: %v", i, err)
+				}
+			case 2:
+				if _, err := n.Localize(); err != nil {
+					t.Errorf("localize %d: %v", i, err)
+				}
+			case 3:
+				if err := n.Move(concurrencyPlacements[i].x, concurrencyPlacements[i].y+0.1, 0); err != nil {
+					t.Errorf("move %d: %v", i, err)
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package milback
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/ap"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Sentinel errors of the public API. Every milback method documents which
+// of these it can return; match with errors.Is — the sentinels re-exported
+// from the internal layers arrive wrapped through the full error chain, so
+// the chain's context (which phase failed, at what rate) is preserved in
+// the message while the sentinel stays matchable.
+var (
+	// ErrInvalidConfig reports a rejected network construction: a nil
+	// scene, or a core.Config the system cannot operate with.
+	ErrInvalidConfig = errors.New("milback: invalid configuration")
+
+	// ErrInvalidCoordinate reports NaN or ±Inf coordinates or orientations
+	// passed to Join or Move — caught at the facade so non-finite values
+	// never reach the physics.
+	ErrInvalidCoordinate = errors.New("milback: non-finite coordinate")
+
+	// ErrNoDetection reports that the AP could not find the node's
+	// reflection: no beat peak, a peak buried in clutter, or an empty
+	// discovery sweep. Typical causes are blockers on the line of sight and
+	// out-of-range placements.
+	ErrNoDetection error = ap.ErrNoDetection
+
+	// ErrOutOfBand reports a requested data rate outside the node's
+	// switch-limited sustainable band (§9.5; MaxUplinkRate is the ceiling).
+	ErrOutOfBand error = core.ErrRateUnsupported
+
+	// ErrCancelled reports that a call's context was cancelled or its
+	// deadline (or the network's job timeout) expired before the AP
+	// scheduler completed the operation. It wraps the context error, so
+	// errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) also discriminate the cause.
+	ErrCancelled error = proto.ErrCancelled
+
+	// ErrClosed reports an operation on a network after Close.
+	ErrClosed error = proto.ErrClosed
+)
+
+// finite reports whether every argument is a usable coordinate (no NaN or
+// ±Inf).
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

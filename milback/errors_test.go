@@ -1,0 +1,183 @@
+package milback
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(WithScene(nil)); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("nil scene: err = %v, want ErrInvalidConfig", err)
+	}
+	if _, err := NewNetwork(WithSystemConfig(core.Config{})); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("zero config: err = %v, want ErrInvalidConfig", err)
+	}
+}
+
+func TestJoinRejectsNonFinite(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	for _, bad := range [][3]float64{
+		{math.NaN(), 0, 0},
+		{2, math.Inf(1), 0},
+		{2, 0, math.Inf(-1)},
+	} {
+		if _, err := net.Join(bad[0], bad[1], bad[2]); !errors.Is(err, ErrInvalidCoordinate) {
+			t.Errorf("Join(%v): err = %v, want ErrInvalidCoordinate", bad, err)
+		}
+	}
+}
+
+func TestMoveRejectsNonFinite(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Move(math.NaN(), 0, 0); !errors.Is(err, ErrInvalidCoordinate) {
+		t.Fatalf("Move NaN: err = %v, want ErrInvalidCoordinate", err)
+	}
+	if err := n.Move(1, 2, math.Inf(1)); !errors.Is(err, ErrInvalidCoordinate) {
+		t.Fatalf("Move Inf: err = %v, want ErrInvalidCoordinate", err)
+	}
+	// Ground truth must be untouched by the rejected moves.
+	if x, y, _ := n.TruePosition(); x != 2 || y != 0 {
+		t.Fatalf("rejected move changed position to (%g, %g)", x, y)
+	}
+}
+
+func TestErrNoDetectionSurfaces(t *testing.T) {
+	net, err := NewNetwork(WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(3, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddBlocker("wall", 1.5, -1, 1.5, 1, 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Localize(); !errors.Is(err, ErrNoDetection) {
+		t.Fatalf("blocked localize: err = %v, want ErrNoDetection", err)
+	}
+}
+
+func TestErrOutOfBandSurfaces(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Send([]byte("x"), 1e9); !errors.Is(err, ErrOutOfBand) {
+		t.Fatalf("1 Gbps send: err = %v, want ErrOutOfBand", err)
+	}
+}
+
+func TestErrCancelledSurfaces(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = n.SendContext(ctx, []byte("x"), Rate10Mbps)
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled send: err = %v, want ErrCancelled wrapping context.Canceled", err)
+	}
+}
+
+func TestErrClosedSurfaces(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Close()
+	net.Close() // idempotent
+	if _, err := n.Send([]byte("x"), Rate10Mbps); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close: err = %v, want ErrClosed", err)
+	}
+	if _, err := n.Localize(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("localize after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestActivityEnum(t *testing.T) {
+	cases := []struct {
+		a    Activity
+		name string
+	}{
+		{ActivityIdle, "idle"},
+		{ActivityLocalization, "localization"},
+		{ActivityDownlink, "downlink"},
+		{ActivityUplink, "uplink"},
+	}
+	for _, c := range cases {
+		if c.a.String() != c.name {
+			t.Errorf("%d.String() = %q, want %q", c.a, c.a.String(), c.name)
+		}
+		got, err := ParseActivity(c.name)
+		if err != nil || got != c.a {
+			t.Errorf("ParseActivity(%q) = %v, %v", c.name, got, err)
+		}
+	}
+	if _, err := ParseActivity("warp"); err == nil {
+		t.Error("unknown activity must not parse")
+	}
+}
+
+func TestPowerMatchesDeprecatedPowerDraw(t *testing.T) {
+	net, err := NewNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2, 0, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Activity{ActivityIdle, ActivityLocalization, ActivityDownlink, ActivityUplink} {
+		want, err := n.Power(a, Rate40Mbps)
+		if err != nil {
+			t.Fatalf("Power(%v): %v", a, err)
+		}
+		got, err := n.PowerDraw(a.String(), Rate40Mbps)
+		if err != nil {
+			t.Fatalf("PowerDraw(%q): %v", a, err)
+		}
+		if got != want {
+			t.Errorf("PowerDraw(%q) = %g, Power = %g", a, got, want)
+		}
+	}
+	if _, err := n.Power(ActivityUplink, 0); err == nil {
+		t.Error("uplink power with zero rate must fail")
+	}
+	if _, err := n.Power(Activity(99), 0); err == nil {
+		t.Error("unknown activity must fail")
+	}
+}

@@ -1,6 +1,7 @@
 package milback
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,10 +23,16 @@ type Detection struct {
 // Discover sweeps the AP's beam across ±40° of azimuth while every joined
 // node responds in localization mode, and returns the detected node
 // positions (sorted by azimuth). It is how an AP bootstraps an SDM cell
-// without prior knowledge of where its nodes are.
+// without prior knowledge of where its nodes are. It can return
+// ErrNoDetection (empty sweep) and ErrClosed.
 func (nw *Network) Discover() ([]Detection, error) {
-	nw.seed++
-	dets, err := nw.net.System().Discover(core.DefaultScanConfig(), nw.seed*2654435761)
+	return nw.DiscoverContext(context.Background())
+}
+
+// DiscoverContext is Discover honoring ctx while the sweep waits for the
+// beam; cancellation returns ErrCancelled wrapping the context error.
+func (nw *Network) DiscoverContext(ctx context.Context) ([]Detection, error) {
+	dets, err := nw.net.DiscoverContext(ctx, core.DefaultScanConfig())
 	if err != nil {
 		return nil, fmt.Errorf("milback: %w", err)
 	}
@@ -45,23 +52,35 @@ func (nw *Network) Discover() ([]Detection, error) {
 // AddBlocker inserts a blocking segment (a person, a cabinet) into the
 // scene. lossDB is the one-way penetration loss (human torso ≈ 30 dB at
 // 28 GHz). Links whose line of sight crosses the segment degrade or die;
-// remove the blocker with RemoveBlocker.
+// remove the blocker with RemoveBlocker. The scene edit is scheduled like
+// any other operation, so it cannot race an exchange in flight.
 func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error {
 	if lossDB <= 0 {
 		return fmt.Errorf("milback: blocker loss must be positive, got %g", lossDB)
 	}
-	nw.net.System().AP.Scene().AddObstruction(rfsim.Obstruction{
-		Name:   name,
-		A:      rfsim.Point{X: x1, Y: y1},
-		B:      rfsim.Point{X: x2, Y: y2},
-		LossDB: lossDB,
+	err := nw.net.RunNetworkJobContext(context.Background(), func() (proto.JobReport, error) {
+		nw.net.System().AP.Scene().AddObstruction(rfsim.Obstruction{
+			Name:   name,
+			A:      rfsim.Point{X: x1, Y: y1},
+			B:      rfsim.Point{X: x2, Y: y2},
+			LossDB: lossDB,
+		})
+		return proto.JobReport{}, nil
 	})
+	if err != nil {
+		return fmt.Errorf("milback: %w", err)
+	}
 	return nil
 }
 
 // RemoveBlocker removes a named blocker, reporting whether it existed.
 func (nw *Network) RemoveBlocker(name string) bool {
-	return nw.net.System().AP.Scene().RemoveObstruction(name)
+	existed := false
+	err := nw.net.RunNetworkJobContext(context.Background(), func() (proto.JobReport, error) {
+		existed = nw.net.System().AP.Scene().RemoveObstruction(name)
+		return proto.JobReport{}, nil
+	})
+	return err == nil && existed
 }
 
 // ReliableExchange reports a CRC-checked, retransmitted transfer.
@@ -77,6 +96,8 @@ type ReliableExchange struct {
 
 // SendReliable transfers data node→AP with CRC-16 framing and stop-and-wait
 // ARQ: corrupted packets are detected and retransmitted up to maxAttempts.
+// The whole transaction (retransmissions included) occupies one scheduler
+// slot. It can return ErrNoDetection, ErrOutOfBand and ErrClosed.
 func (n *Node) SendReliable(data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
 	return n.reliable(waveform.Uplink, data, bitRate, maxAttempts)
 }
@@ -87,7 +108,19 @@ func (n *Node) DeliverReliable(data []byte, bitRate float64, maxAttempts int) (R
 }
 
 func (n *Node) reliable(dir waveform.Direction, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
-	res, err := n.sess.SendReliable(dir, data, bitRate, maxAttempts)
+	var res proto.ReliableResult
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+		var err error
+		res, err = n.sess.SendReliable(dir, data, bitRate, maxAttempts)
+		if err != nil {
+			return proto.JobReport{}, err
+		}
+		return proto.JobReport{
+			Exchange: true,
+			BitsSent: 8 * len(data),
+			AirtimeS: res.TotalAirtimeS,
+		}, nil
+	})
 	if err != nil {
 		return ReliableExchange{Attempts: res.Attempts}, fmt.Errorf("milback: %w", err)
 	}
@@ -103,11 +136,19 @@ func (n *Node) reliable(dir waveform.Direction, data []byte, bitRate float64, ma
 // fastest standard rate (5–160 Mbps ladder) that sustains BER ≤ 1e-6. The
 // bool reports whether even the slowest rate meets the target.
 func (n *Node) BestUplinkRate() (float64, bool, error) {
-	r, ok, err := n.sess.AdaptUplink(proto.DefaultRateController())
+	var (
+		rate float64
+		ok   bool
+	)
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+		var err error
+		rate, ok, err = n.sess.AdaptUplink(proto.DefaultRateController())
+		return proto.JobReport{}, err
+	})
 	if err != nil {
 		return 0, false, fmt.Errorf("milback: %w", err)
 	}
-	return r, ok, nil
+	return rate, ok, nil
 }
 
 // SendFEC transfers data node→AP in a single packet protected by
@@ -116,16 +157,27 @@ func (n *Node) BestUplinkRate() (float64, bool, error) {
 // retransmission. Returns the verified payload and the number of corrected
 // bits; residual errors surface as an error (the frame CRC catches them).
 func (n *Node) SendFEC(data []byte, bitRate float64) ([]byte, int, error) {
-	got, corrections, err := n.sess.SendFEC(waveform.Uplink, data, bitRate, 8)
-	if err != nil {
-		return nil, corrections, fmt.Errorf("milback: %w", err)
-	}
-	return got, corrections, nil
+	return n.fec(waveform.Uplink, data, bitRate)
 }
 
 // DeliverFEC is SendFEC for the AP→node direction.
 func (n *Node) DeliverFEC(data []byte, bitRate float64) ([]byte, int, error) {
-	got, corrections, err := n.sess.SendFEC(waveform.Downlink, data, bitRate, 8)
+	return n.fec(waveform.Downlink, data, bitRate)
+}
+
+func (n *Node) fec(dir waveform.Direction, data []byte, bitRate float64) ([]byte, int, error) {
+	var (
+		got         []byte
+		corrections int
+	)
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+		var err error
+		got, corrections, err = n.sess.SendFEC(dir, data, bitRate, 8)
+		if err != nil {
+			return proto.JobReport{}, err
+		}
+		return proto.JobReport{Exchange: true, BitsSent: 8 * len(data)}, nil
+	})
 	if err != nil {
 		return nil, corrections, fmt.Errorf("milback: %w", err)
 	}

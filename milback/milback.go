@@ -11,18 +11,34 @@
 // Quick start:
 //
 //	net, _ := milback.NewNetwork()
+//	defer net.Close()
 //	node, _ := net.Join(3, 0.5, -10) // x, y (m), orientation (deg)
 //	pos, _ := node.Localize()
 //	reply, _ := node.Send([]byte("hello"), milback.Rate10Mbps)
 //	_ = pos; _ = reply
 //
-// Everything is deterministic: the same network seed reproduces the same
-// noise, estimates and bit errors.
+// # Concurrency
+//
+// A Network is safe for concurrent use: the AP serves one node at a time
+// (spatial-division multiplexing — one beam), so an internal airtime
+// scheduler queues operations and grants the channel round-robin across
+// nodes. Any number of goroutines may drive distinct nodes; each call
+// blocks until its turn on the air completes. The *Context variants
+// (SendContext, DeliverContext, LocalizeContext, ...) honor cancellation
+// while an operation waits in the queue and between packet phases; see
+// ErrCancelled.
+//
+// Everything is deterministic: each node draws noise seeds from its own
+// stream, derived from the network seed and the node's join order, so for a
+// fixed seed the results are bit-identical regardless of how goroutines
+// interleave.
 package milback
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/node"
@@ -47,12 +63,15 @@ const (
 type Option func(*options)
 
 type options struct {
-	cfg   core.Config
-	scene *rfsim.Scene
-	seed  int64
+	cfg        core.Config
+	scene      *rfsim.Scene
+	seed       int64
+	jobTimeout time.Duration
 }
 
-// WithSeed fixes the network's base random seed (default 1).
+// WithSeed fixes the network's base random seed (default 1). Per-node seed
+// streams are derived from it, so two networks with the same seed and the
+// same join order produce identical results.
 func WithSeed(seed int64) Option {
 	return func(o *options) { o.seed = seed }
 }
@@ -73,15 +92,23 @@ func WithSystemConfig(cfg core.Config) Option {
 	return func(o *options) { o.cfg = cfg }
 }
 
+// WithJobTimeout bounds how long any single scheduled operation (queue wait
+// plus airtime) may take before it fails with ErrCancelled wrapping
+// context.DeadlineExceeded. Zero (the default) means no limit.
+func WithJobTimeout(d time.Duration) Option {
+	return func(o *options) { o.jobTimeout = d }
+}
+
 // Network is a MilBack deployment: one AP serving any number of backscatter
-// nodes by spatial-division multiplexing.
+// nodes by spatial-division multiplexing. All methods are safe for
+// concurrent use.
 type Network struct {
-	net  *proto.Network
-	seed int64
+	net *proto.Network
 }
 
 // NewNetwork creates a network with the paper's prototype configuration in
-// the default indoor scene.
+// the default indoor scene. It returns ErrInvalidConfig if the scene is nil
+// or the system configuration is unusable.
 func NewNetwork(opts ...Option) (*Network, error) {
 	o := options{
 		cfg:   core.DefaultConfig(),
@@ -91,11 +118,68 @@ func NewNetwork(opts ...Option) (*Network, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if o.scene == nil {
+		return nil, fmt.Errorf("%w: nil scene", ErrInvalidConfig)
+	}
 	sys, err := core.NewSystem(o.cfg, o.scene)
 	if err != nil {
-		return nil, fmt.Errorf("milback: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	return &Network{net: proto.NewNetwork(sys), seed: o.seed}, nil
+	return &Network{net: proto.NewNetworkSeeded(sys, o.seed, o.jobTimeout)}, nil
+}
+
+// Close shuts down the network's airtime scheduler. Operations in flight or
+// queued fail with ErrClosed, as does any later call. Close is idempotent.
+func (nw *Network) Close() {
+	nw.net.Close()
+}
+
+// Stats is a snapshot of network-wide counters maintained by the airtime
+// scheduler. Totals match the per-exchange sums of the individual results.
+type Stats struct {
+	// Exchanges counts completed payload transfers (Send/Deliver; a
+	// reliable or FEC transfer counts once regardless of retransmissions).
+	Exchanges uint64
+	// Localizations counts completed standalone fixes (Localize, Discover
+	// and Orientation calls; exchanges embed their own fix and are not
+	// double-counted here).
+	Localizations uint64
+	// BitErrors and BitsSent accumulate payload link quality across all
+	// exchanges.
+	BitErrors uint64
+	BitsSent  uint64
+	// AirtimeS is the total simulated air occupancy in seconds.
+	AirtimeS float64
+	// Completed, Failed and Cancelled count scheduled jobs by outcome.
+	Completed uint64
+	Failed    uint64
+	Cancelled uint64
+	// QueueWait is a histogram of how long jobs waited for the beam; bucket
+	// i counts waits below QueueWaitBucketBounds()[i], the last bucket is
+	// unbounded.
+	QueueWait [proto.QueueWaitBuckets]uint64
+}
+
+// QueueWaitBucketBounds returns the upper bounds of the Stats.QueueWait
+// histogram buckets; the final bucket has no upper bound.
+func QueueWaitBucketBounds() []time.Duration {
+	return proto.QueueWaitBucketBounds()
+}
+
+// Stats returns a consistent snapshot of the network counters.
+func (nw *Network) Stats() Stats {
+	s := nw.net.Stats()
+	return Stats{
+		Exchanges:     s.Exchanges,
+		Localizations: s.Localizations,
+		BitErrors:     s.BitErrors,
+		BitsSent:      s.BitsSent,
+		AirtimeS:      s.AirtimeS,
+		Completed:     s.Completed,
+		Failed:        s.Failed,
+		Cancelled:     s.Cancelled,
+		QueueWait:     s.QueueWait,
+	}
 }
 
 // Node is one backscatter device in the network.
@@ -108,10 +192,13 @@ type Node struct {
 // Join adds a node at position (x, y) meters — the AP sits at the origin
 // facing +x — with the given orientation in degrees (0 = FSA boresight
 // facing the AP). The paper's evaluation covers ranges up to ~10 m and
-// orientations within ±30°.
+// orientations within ±30°. Join returns ErrInvalidCoordinate for NaN or
+// ±Inf arguments.
 func (nw *Network) Join(x, y, orientationDeg float64) (*Node, error) {
-	nw.seed++
-	sess, err := nw.net.Join(rfsim.Point{X: x, Y: y}, orientationDeg, nw.seed*7919)
+	if !finite(x, y, orientationDeg) {
+		return nil, fmt.Errorf("%w: join at (%g, %g) facing %g", ErrInvalidCoordinate, x, y, orientationDeg)
+	}
+	sess, err := nw.net.Join(rfsim.Point{X: x, Y: y}, orientationDeg)
 	if err != nil {
 		return nil, fmt.Errorf("milback: %w", err)
 	}
@@ -140,15 +227,7 @@ type Position struct {
 	X, Y float64
 }
 
-// Localize runs the paper's §5 pipeline (FMCW + background subtraction +
-// two-antenna AoA + reflected-power orientation profiling) and returns the
-// fix.
-func (n *Node) Localize() (Position, error) {
-	n.net.seed++
-	out, err := n.net.net.System().Localize(n.n, n.net.seed*104729)
-	if err != nil {
-		return Position{}, fmt.Errorf("milback: %w", err)
-	}
+func positionFromOutcome(out core.LocalizationOutcome) Position {
 	az := out.AzimuthRad
 	return Position{
 		RangeM:         out.RangeM,
@@ -156,14 +235,38 @@ func (n *Node) Localize() (Position, error) {
 		OrientationDeg: out.OrientationDeg,
 		X:              out.RangeM * math.Cos(az),
 		Y:              out.RangeM * math.Sin(az),
-	}, nil
+	}
+}
+
+// Localize runs the paper's §5 pipeline (FMCW + background subtraction +
+// two-antenna AoA + reflected-power orientation profiling) and returns the
+// fix. It can return ErrNoDetection (node invisible to the AP) and, after
+// Close, ErrClosed.
+func (n *Node) Localize() (Position, error) {
+	return n.LocalizeContext(context.Background())
+}
+
+// LocalizeContext is Localize honoring ctx while the operation waits for
+// the beam; cancellation returns ErrCancelled wrapping the context error.
+func (n *Node) LocalizeContext(ctx context.Context) (Position, error) {
+	out, err := n.net.net.LocalizeContext(ctx, n.sess)
+	if err != nil {
+		return Position{}, fmt.Errorf("milback: %w", err)
+	}
+	return positionFromOutcome(out), nil
 }
 
 // Orientation runs the node-side §5.2b estimation (triangular chirp, 1 MHz
 // MCU sampling) and returns the node's own orientation estimate in degrees.
+// It can return ErrCancelled and ErrClosed.
 func (n *Node) Orientation() (float64, error) {
-	n.net.seed++
-	res, err := n.net.net.System().SenseOrientationAtNode(n.n, n.net.seed*15485863)
+	return n.OrientationContext(context.Background())
+}
+
+// OrientationContext is Orientation honoring ctx while the operation waits
+// for the beam.
+func (n *Node) OrientationContext(ctx context.Context) (float64, error) {
+	res, err := n.net.net.SenseOrientationContext(ctx, n.sess)
 	if err != nil {
 		return 0, fmt.Errorf("milback: %w", err)
 	}
@@ -197,40 +300,47 @@ func (e Exchange) BER() float64 {
 }
 
 // Send transmits data from the node to the AP (uplink backscatter, §6.3) as
-// one full protocol packet at the given bit rate.
+// one full protocol packet at the given bit rate. It can return
+// ErrNoDetection, ErrOutOfBand (rate beyond the switches), and ErrClosed.
 func (n *Node) Send(data []byte, bitRate float64) (Exchange, error) {
-	return n.exchange(waveform.Uplink, data, bitRate)
+	return n.SendContext(context.Background(), data, bitRate)
+}
+
+// SendContext is Send honoring ctx while the packet waits for the beam and
+// between packet phases; cancellation returns ErrCancelled wrapping the
+// context error.
+func (n *Node) SendContext(ctx context.Context, data []byte, bitRate float64) (Exchange, error) {
+	return n.exchange(ctx, waveform.Uplink, data, bitRate)
 }
 
 // Deliver transmits data from the AP to the node (downlink, §6.1) as one
-// full protocol packet at the given bit rate.
+// full protocol packet at the given bit rate. It can return ErrNoDetection
+// and ErrClosed.
 func (n *Node) Deliver(data []byte, bitRate float64) (Exchange, error) {
-	return n.exchange(waveform.Downlink, data, bitRate)
+	return n.DeliverContext(context.Background(), data, bitRate)
 }
 
-func (n *Node) exchange(dir waveform.Direction, data []byte, bitRate float64) (Exchange, error) {
-	out, err := n.sess.RunPacket(dir, data, bitRate)
+// DeliverContext is Deliver honoring ctx while the packet waits for the
+// beam and between packet phases.
+func (n *Node) DeliverContext(ctx context.Context, data []byte, bitRate float64) (Exchange, error) {
+	return n.exchange(ctx, waveform.Downlink, data, bitRate)
+}
+
+func (n *Node) exchange(ctx context.Context, dir waveform.Direction, data []byte, bitRate float64) (Exchange, error) {
+	out, err := n.net.net.ExchangeContext(ctx, n.sess, dir, data, bitRate)
 	if err != nil {
 		return Exchange{}, fmt.Errorf("milback: %w", err)
 	}
-	az := out.Localization.AzimuthRad
-	ex := Exchange{
-		Data:      out.Payload,
-		BitErrors: out.BitErrors,
-		BitsSent:  out.BitsSent,
-		SNRdB:     out.LinkQualityDB,
-		Position: Position{
-			RangeM:         out.Localization.RangeM,
-			AzimuthDeg:     rfsim.RadToDeg(az),
-			OrientationDeg: out.Localization.OrientationDeg,
-			X:              out.Localization.RangeM * math.Cos(az),
-			Y:              out.Localization.RangeM * math.Sin(az),
-		},
+	return Exchange{
+		Data:               out.Payload,
+		BitErrors:          out.BitErrors,
+		BitsSent:           out.BitsSent,
+		SNRdB:              out.LinkQualityDB,
+		Position:           positionFromOutcome(out.Localization),
 		NodeOrientationDeg: out.NodeOrientation.EstimateDeg,
 		AirtimeS:           out.AirtimeS,
 		NodeEnergyJ:        out.NodeEnergyJ,
-	}
-	return ex, nil
+	}, nil
 }
 
 // TruePosition returns the node's ground-truth placement (for evaluating
@@ -240,28 +350,20 @@ func (n *Node) TruePosition() (x, y, orientationDeg float64) {
 }
 
 // Move repositions the node (teleport; the next packet re-localizes it).
-func (n *Node) Move(x, y, orientationDeg float64) {
-	n.n.Position = rfsim.Point{X: x, Y: y}
-	n.n.OrientationDeg = orientationDeg
+// The move is scheduled like any other operation so it cannot race an
+// exchange in flight. It returns ErrInvalidCoordinate for NaN or ±Inf
+// arguments and ErrClosed after Close.
+func (n *Node) Move(x, y, orientationDeg float64) error {
+	return n.MoveContext(context.Background(), x, y, orientationDeg)
 }
 
-// PowerDraw returns the node's power consumption in watts for a named
-// activity: "idle", "localization", "downlink", or "uplink" (at bitRate for
-// uplink; ignored otherwise). See §9.6.
-func (n *Node) PowerDraw(activity string, bitRate float64) (float64, error) {
-	switch activity {
-	case "idle":
-		return n.n.ModePower(node.ModeIdle, 0), nil
-	case "localization":
-		return n.n.ModePower(node.ModeLocalization, 10e3), nil
-	case "downlink":
-		return n.n.ModePower(node.ModeDownlink, 0), nil
-	case "uplink":
-		if bitRate <= 0 {
-			return 0, fmt.Errorf("milback: uplink power needs a positive bit rate")
-		}
-		return n.n.ModePower(node.ModeUplink, node.UplinkToggleRate(bitRate)), nil
-	default:
-		return 0, fmt.Errorf("milback: unknown activity %q", activity)
+// MoveContext is Move honoring ctx while the operation waits for the beam.
+func (n *Node) MoveContext(ctx context.Context, x, y, orientationDeg float64) error {
+	if !finite(x, y, orientationDeg) {
+		return fmt.Errorf("%w: move to (%g, %g) facing %g", ErrInvalidCoordinate, x, y, orientationDeg)
 	}
+	if err := n.net.net.MoveContext(ctx, n.sess, rfsim.Point{X: x, Y: y}, orientationDeg); err != nil {
+		return fmt.Errorf("milback: %w", err)
+	}
+	return nil
 }

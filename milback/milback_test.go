@@ -118,7 +118,9 @@ func TestMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	n.Move(5, 0, 10)
+	if err := n.Move(5, 0, 10); err != nil {
+		t.Fatal(err)
+	}
 	x, y, o := n.TruePosition()
 	if x != 5 || y != 0 || o != 10 {
 		t.Fatalf("TruePosition = %g,%g,%g", x, y, o)

@@ -14,7 +14,7 @@ BENCHTIME="${1:-300ms}"
 OUT="BENCH_seed.json"
 
 go test -run '^$' \
-	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial|CaptureParallel' \
+	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial|CaptureParallel|NetworkThroughput' \
 	-benchtime "$BENCHTIME" . |
 	awk -v benchtime="$BENCHTIME" '
 	/^goos:/ { goos = $2 }
