@@ -77,7 +77,9 @@ func main() {
 	}
 	fmt.Println("node 0 unaffected by the blocker")
 
-	net.RemoveBlocker("visitor")
+	if _, err := net.RemoveBlocker("visitor"); err != nil {
+		log.Fatal(err)
+	}
 	res, err := nodes[2].SendReliable([]byte("ping"), milback.Rate10Mbps, 2)
 	if err != nil {
 		log.Fatalf("node 2 should recover: %v", err)

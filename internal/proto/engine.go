@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,11 +39,14 @@ const networkJobKey = 0
 
 // EngineConfig parameterizes the scheduler.
 type EngineConfig struct {
-	// JobTimeout bounds each job's total time in the scheduler (queue wait
-	// plus execution start). Zero disables the scheduler-level timeout;
-	// callers can always impose their own via context deadlines. A job that
-	// has already started executing is not preempted — the simulated channel
-	// cannot abort mid-capture any more than a real radio can.
+	// JobTimeout bounds each job's time in the scheduler: a job still queued
+	// at the deadline fails with ErrCancelled, and a job already executing
+	// sees the deadline on the context passed to it, so multi-phase jobs
+	// (packets) abandon remaining phases between captures. A phase already
+	// on the air is never preempted — the simulated channel cannot abort
+	// mid-capture any more than a real radio can — so Run returns only when
+	// the started job finishes. Zero disables the scheduler-level timeout;
+	// callers can always impose their own via context deadlines.
 	JobTimeout time.Duration
 	// QueueDepth is the submission channel buffer (default 64). Submissions
 	// beyond it block until the scheduler drains.
@@ -111,8 +115,14 @@ type job struct {
 	key      int
 	ctx      context.Context
 	enqueued time.Time
-	run      func() (JobReport, error)
+	run      func(ctx context.Context) (JobReport, error)
 	done     chan error
+	// claimed arbitrates ownership between the scheduler (about to execute)
+	// and the caller (abandoning on cancellation). Whoever wins the CAS
+	// decides the job's fate: a scheduler win commits the job to execution
+	// and the caller must wait on done; a caller win means the job never
+	// runs and the scheduler drops it when dequeued.
+	claimed atomic.Bool
 }
 
 // Engine is the AP airtime scheduler. Create it with NewEngine; all methods
@@ -160,11 +170,17 @@ func (e *Engine) Stats() Stats {
 
 // Run submits fn as a job on the given queue key and blocks until the
 // scheduler has executed it (returning fn's error), the context is
-// cancelled (ErrCancelled wrapping the context error), or the scheduler is
-// closed (ErrClosed). key groups jobs into per-node FIFO queues for the
-// round-robin grant; use a session's id, or networkJobKey for
-// network-scope work.
-func (e *Engine) Run(ctx context.Context, key int, fn func() (JobReport, error)) error {
+// cancelled while the job is still queued (ErrCancelled wrapping the
+// context error), or the scheduler is closed before the job runs
+// (ErrClosed). fn receives the job's effective context — the caller's ctx
+// wrapped with JobTimeout if one is configured — so multi-phase jobs can
+// observe the deadline between phases. Once the scheduler has started fn,
+// Run always waits for it to finish and returns its result, even if ctx
+// expires meanwhile: execution is never preempted and abandoning it would
+// race fn's writes against the caller's reads. key groups jobs into
+// per-node FIFO queues for the round-robin grant; use a session's id, or
+// networkJobKey for network-scope work.
+func (e *Engine) Run(ctx context.Context, key int, fn func(ctx context.Context) (JobReport, error)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -192,11 +208,25 @@ func (e *Engine) Run(ctx context.Context, key int, fn func() (JobReport, error))
 	case err := <-j.done:
 		return err
 	case <-ctx.Done():
-		// The scheduler observes the dead context before executing the job
-		// (and counts the cancellation there); don't wait for it.
-		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		if j.claimed.CompareAndSwap(false, true) {
+			// Claim won: the scheduler has not started the job and, seeing
+			// the claim, never will. Safe to walk away.
+			e.noteCancelled()
+			return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		}
+		// The scheduler claimed the job first, so fn is executing (or its
+		// result is already in done). Wait for it: fn writes caller-captured
+		// state, and execution is deliberately not preempted.
+		return <-j.done
 	case <-e.stopped:
-		return ErrClosed
+		// done and stopped can both be ready; prefer the job's actual
+		// result so an executed job is never misreported as ErrClosed.
+		select {
+		case err := <-j.done:
+			return err
+		default:
+			return ErrClosed
+		}
 	}
 }
 
@@ -274,13 +304,18 @@ func (e *Engine) loop() {
 
 // execute runs one granted job and folds its report into the stats.
 func (e *Engine) execute(j *job) {
+	if !j.claimed.CompareAndSwap(false, true) {
+		// The caller abandoned the job on cancellation (and counted it);
+		// drop it without executing.
+		return
+	}
 	if err := j.ctx.Err(); err != nil {
 		e.noteCancelled()
 		j.done <- fmt.Errorf("%w: %w", ErrCancelled, err)
 		return
 	}
 	wait := time.Since(j.enqueued)
-	rep, err := j.run()
+	rep, err := j.run(j.ctx)
 	e.mu.Lock()
 	e.noteWaitLocked(wait)
 	if err != nil {

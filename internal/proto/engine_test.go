@@ -12,7 +12,7 @@ func TestEngineRunsJobsAndAccounts(t *testing.T) {
 	e := NewEngine(EngineConfig{})
 	defer e.Close()
 	for i := 0; i < 5; i++ {
-		err := e.Run(context.Background(), 1, func() (JobReport, error) {
+		err := e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 			return JobReport{Exchange: true, BitErrors: 2, BitsSent: 100, AirtimeS: 0.25}, nil
 		})
 		if err != nil {
@@ -42,7 +42,7 @@ func TestEngineFailedJobCounted(t *testing.T) {
 	e := NewEngine(EngineConfig{})
 	defer e.Close()
 	boom := errors.New("boom")
-	if err := e.Run(context.Background(), 1, func() (JobReport, error) {
+	if err := e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 		return JobReport{}, boom
 	}); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
@@ -61,8 +61,8 @@ func TestEngineRoundRobinFairness(t *testing.T) {
 	gate := make(chan struct{})
 	var mu sync.Mutex
 	var order []int
-	record := func(key int) func() (JobReport, error) {
-		return func() (JobReport, error) {
+	record := func(key int) func(context.Context) (JobReport, error) {
+		return func(context.Context) (JobReport, error) {
 			mu.Lock()
 			order = append(order, key)
 			mu.Unlock()
@@ -75,7 +75,7 @@ func TestEngineRoundRobinFairness(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		// First job holds the channel until the rest of the backlog is queued.
-		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+		_ = e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 			<-gate
 			return JobReport{}, nil
 		})
@@ -119,7 +119,7 @@ func TestEngineCancelWhileQueued(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+		_ = e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 			close(started)
 			<-gate
 			return JobReport{}, nil
@@ -132,7 +132,7 @@ func TestEngineCancelWhileQueued(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		errc <- e.Run(ctx, 2, func() (JobReport, error) {
+		errc <- e.Run(ctx, 2, func(context.Context) (JobReport, error) {
 			t.Error("cancelled job must not execute")
 			return JobReport{}, nil
 		})
@@ -150,6 +150,56 @@ func TestEngineCancelWhileQueued(t *testing.T) {
 	}
 }
 
+// A cancellation that lands while the job is already executing must not be
+// abandoned: the scheduler claimed the job first, so Run waits for the real
+// result instead of racing the job's writes (this test fails under -race if
+// Run returns early).
+func TestEngineCancelDuringExecutionWaits(t *testing.T) {
+	e := NewEngine(EngineConfig{})
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	cancelled := make(chan struct{})
+	go func() {
+		<-started
+		cancel()
+		close(cancelled)
+	}()
+	result := 0
+	err := e.Run(ctx, 1, func(jctx context.Context) (JobReport, error) {
+		close(started)
+		<-cancelled
+		if jctx.Err() == nil {
+			t.Error("job context must observe the cancellation")
+		}
+		result = 42
+		return JobReport{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run = %v, want nil: a started job's result must be delivered", err)
+	}
+	if result != 42 {
+		t.Fatalf("result = %d, want 42", result)
+	}
+}
+
+// The scheduler must hand jobs their effective context, so a JobTimeout
+// deadline is visible inside the job (between packet phases).
+func TestEngineJobSeesEffectiveDeadline(t *testing.T) {
+	e := NewEngine(EngineConfig{JobTimeout: time.Minute})
+	defer e.Close()
+	err := e.Run(context.Background(), 1, func(jctx context.Context) (JobReport, error) {
+		if _, ok := jctx.Deadline(); !ok {
+			t.Error("job context has no deadline; JobTimeout not threaded through")
+		}
+		return JobReport{}, nil
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
 func TestEngineJobTimeout(t *testing.T) {
 	e := NewEngine(EngineConfig{JobTimeout: 20 * time.Millisecond})
 	defer e.Close()
@@ -160,7 +210,7 @@ func TestEngineJobTimeout(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_ = e.Run(context.Background(), 1, func() (JobReport, error) {
+		_ = e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 			close(started)
 			<-gate
 			return JobReport{}, nil
@@ -168,7 +218,7 @@ func TestEngineJobTimeout(t *testing.T) {
 	}()
 	<-started
 
-	err := e.Run(context.Background(), 2, func() (JobReport, error) {
+	err := e.Run(context.Background(), 2, func(context.Context) (JobReport, error) {
 		t.Error("timed-out job must not execute")
 		return JobReport{}, nil
 	})
@@ -183,7 +233,7 @@ func TestEngineClose(t *testing.T) {
 	e := NewEngine(EngineConfig{})
 	e.Close()
 	e.Close() // idempotent
-	err := e.Run(context.Background(), 1, func() (JobReport, error) {
+	err := e.Run(context.Background(), 1, func(context.Context) (JobReport, error) {
 		t.Error("job must not run after Close")
 		return JobReport{}, nil
 	})
@@ -203,7 +253,7 @@ func TestEngineConcurrentSubmitters(t *testing.T) {
 		go func(key int) {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				err := e.Run(context.Background(), key, func() (JobReport, error) {
+				err := e.Run(context.Background(), key, func(context.Context) (JobReport, error) {
 					mu.Lock()
 					executing++
 					if executing > max {

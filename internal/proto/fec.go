@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/waveform"
@@ -143,7 +144,15 @@ func deinterleave(bits []bool, depth int) []bool {
 // instead of ARQ: no retransmissions, but isolated channel bit errors are
 // corrected. Returns the decoded payload and the number of corrected bits.
 // A residual error after correction is reported through the frame CRC.
+// The underlying packet's channel accounting (wire bits, pre-correction
+// bit errors, airtime) is available in Session.LastOutcome afterwards.
 func (s *Session) SendFEC(dir waveform.Direction, data []byte, rate float64, depth int) ([]byte, int, error) {
+	return s.SendFECContext(context.Background(), dir, data, rate, depth)
+}
+
+// SendFECContext is SendFEC with cancellation checks between the packet
+// phases (see RunPacketContext).
+func (s *Session) SendFECContext(ctx context.Context, dir waveform.Direction, data []byte, rate float64, depth int) ([]byte, int, error) {
 	if len(data) == 0 {
 		return nil, 0, fmt.Errorf("proto: empty payload")
 	}
@@ -163,7 +172,7 @@ func (s *Session) SendFEC(dir waveform.Direction, data []byte, rate float64, dep
 	for len(padded)%8 != 0 {
 		padded = append(padded, false)
 	}
-	out, err := s.RunPacket(dir, waveform.BitsToBytes(padded), rate)
+	out, err := s.RunPacketContext(ctx, dir, waveform.BitsToBytes(padded), rate)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/waveform"
@@ -92,6 +94,10 @@ type ReliableResult struct {
 	// TotalAirtimeS and NodeEnergyJ sum over all attempts.
 	TotalAirtimeS float64
 	NodeEnergyJ   float64
+	// BitsSent and BitErrors total the wire-level payload bits (the encoded
+	// frame, not just the caller's data) over all attempts.
+	BitsSent  int
+	BitErrors int
 }
 
 // maxSeq wraps the 8-bit sequence space.
@@ -102,6 +108,13 @@ const maxSeq = 256
 // protocol packet; a CRC failure (or direction mis-detection) triggers a
 // retransmission, up to maxAttempts.
 func (s *Session) SendReliable(dir waveform.Direction, data []byte, rate float64, maxAttempts int) (ReliableResult, error) {
+	return s.SendReliableContext(context.Background(), dir, data, rate, maxAttempts)
+}
+
+// SendReliableContext is SendReliable with cancellation checks between
+// attempts and between packet phases: a dead context abandons the transfer
+// with ErrCancelled wrapping the context error.
+func (s *Session) SendReliableContext(ctx context.Context, dir waveform.Direction, data []byte, rate float64, maxAttempts int) (ReliableResult, error) {
 	if maxAttempts < 1 {
 		return ReliableResult{}, fmt.Errorf("proto: maxAttempts must be >= 1, got %d", maxAttempts)
 	}
@@ -114,13 +127,18 @@ func (s *Session) SendReliable(dir waveform.Direction, data []byte, rate float64
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		res.Attempts = attempt
-		out, err := s.RunPacket(dir, wire, rate)
+		out, err := s.RunPacketContext(ctx, dir, wire, rate)
+		if errors.Is(err, ErrCancelled) {
+			return res, err
+		}
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		res.TotalAirtimeS += out.AirtimeS
 		res.NodeEnergyJ += out.NodeEnergyJ
+		res.BitsSent += out.BitsSent
+		res.BitErrors += out.BitErrors
 		got, err := DecodeFrame(out.Payload)
 		if err != nil {
 			lastErr = err

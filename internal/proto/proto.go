@@ -308,12 +308,14 @@ func (n *Network) NextSession() *Session {
 // ExchangeContext runs one full protocol packet for the session through the
 // airtime scheduler: the calling goroutine blocks until the AP grants the
 // session its slot and the packet completes, the context is cancelled
-// (ErrCancelled), or the network is closed (ErrClosed).
+// (ErrCancelled), or the network is closed (ErrClosed). The packet phases
+// run under the job's effective context (ctx plus any network job timeout),
+// so a deadline is observed between phases too.
 func (n *Network) ExchangeContext(ctx context.Context, s *Session, dir waveform.Direction,
 	payload []byte, rate float64) (PacketOutcome, error) {
 	var out PacketOutcome
-	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
-		o, err := s.RunPacketContext(ctx, dir, payload, rate)
+	err := n.engine().Run(ctx, s.id, func(jctx context.Context) (JobReport, error) {
+		o, err := s.RunPacketContext(jctx, dir, payload, rate)
 		if err != nil {
 			return JobReport{}, err
 		}
@@ -332,7 +334,7 @@ func (n *Network) ExchangeContext(ctx context.Context, s *Session, dir waveform.
 // through the airtime scheduler.
 func (n *Network) LocalizeContext(ctx context.Context, s *Session) (core.LocalizationOutcome, error) {
 	var out core.LocalizationOutcome
-	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
+	err := n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
 		o, err := s.sys.Localize(s.node, s.nextSeed())
 		if err != nil {
 			return JobReport{}, err
@@ -347,7 +349,7 @@ func (n *Network) LocalizeContext(ctx context.Context, s *Session) (core.Localiz
 // through the airtime scheduler.
 func (n *Network) SenseOrientationContext(ctx context.Context, s *Session) (node.OrientationResult, error) {
 	var out node.OrientationResult
-	err := n.engine().Run(ctx, s.id, func() (JobReport, error) {
+	err := n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
 		o, err := s.sys.SenseOrientationAtNode(s.node, s.nextSeed())
 		if err != nil {
 			return JobReport{}, err
@@ -361,7 +363,7 @@ func (n *Network) SenseOrientationContext(ctx context.Context, s *Session) (node
 // MoveContext repositions the session's node through the airtime scheduler,
 // so a teleport never races a capture in flight.
 func (n *Network) MoveContext(ctx context.Context, s *Session, pos rfsim.Point, orientationDeg float64) error {
-	return n.engine().Run(ctx, s.id, func() (JobReport, error) {
+	return n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
 		s.node.Position = pos
 		s.node.OrientationDeg = orientationDeg
 		return JobReport{}, nil
@@ -372,7 +374,7 @@ func (n *Network) MoveContext(ctx context.Context, s *Session, pos rfsim.Point, 
 // network-scope job, drawing its seed from the network's own stream.
 func (n *Network) DiscoverContext(ctx context.Context, cfg core.ScanConfig) ([]core.NodeDetection, error) {
 	var dets []core.NodeDetection
-	err := n.engine().Run(ctx, networkJobKey, func() (JobReport, error) {
+	err := n.engine().Run(ctx, networkJobKey, func(context.Context) (JobReport, error) {
 		n.mu.Lock()
 		seed := n.netRNG.Next()
 		n.mu.Unlock()
@@ -386,14 +388,16 @@ func (n *Network) DiscoverContext(ctx context.Context, cfg core.ScanConfig) ([]c
 // RunSessionJobContext grants fn exclusive use of the simulated channel on
 // the session's queue — the hook multi-packet operations (ARQ transfers,
 // FEC packets, rate probes) use to stay serialized with everything else.
-// fn's report feeds the scheduler stats.
-func (n *Network) RunSessionJobContext(ctx context.Context, s *Session, fn func() (JobReport, error)) error {
+// fn receives the job's effective context (ctx plus any network job
+// timeout) and should check it between packets; fn's report feeds the
+// scheduler stats.
+func (n *Network) RunSessionJobContext(ctx context.Context, s *Session, fn func(ctx context.Context) (JobReport, error)) error {
 	return n.engine().Run(ctx, s.id, fn)
 }
 
 // RunNetworkJobContext is RunSessionJobContext on the network-scope queue
 // (scene mutations, cell-wide maintenance).
-func (n *Network) RunNetworkJobContext(ctx context.Context, fn func() (JobReport, error)) error {
+func (n *Network) RunNetworkJobContext(ctx context.Context, fn func(ctx context.Context) (JobReport, error)) error {
 	return n.engine().Run(ctx, networkJobKey, fn)
 }
 

@@ -58,7 +58,7 @@ func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error
 	if lossDB <= 0 {
 		return fmt.Errorf("milback: blocker loss must be positive, got %g", lossDB)
 	}
-	err := nw.net.RunNetworkJobContext(context.Background(), func() (proto.JobReport, error) {
+	err := nw.net.RunNetworkJobContext(context.Background(), func(context.Context) (proto.JobReport, error) {
 		nw.net.System().AP.Scene().AddObstruction(rfsim.Obstruction{
 			Name:   name,
 			A:      rfsim.Point{X: x1, Y: y1},
@@ -73,14 +73,19 @@ func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error
 	return nil
 }
 
-// RemoveBlocker removes a named blocker, reporting whether it existed.
-func (nw *Network) RemoveBlocker(name string) bool {
+// RemoveBlocker removes a named blocker, reporting whether it existed. A
+// non-nil error (ErrClosed after Close) means the edit was not applied and
+// the bool is meaningless.
+func (nw *Network) RemoveBlocker(name string) (bool, error) {
 	existed := false
-	err := nw.net.RunNetworkJobContext(context.Background(), func() (proto.JobReport, error) {
+	err := nw.net.RunNetworkJobContext(context.Background(), func(context.Context) (proto.JobReport, error) {
 		existed = nw.net.System().AP.Scene().RemoveObstruction(name)
 		return proto.JobReport{}, nil
 	})
-	return err == nil && existed
+	if err != nil {
+		return false, fmt.Errorf("milback: %w", err)
+	}
+	return existed, nil
 }
 
 // ReliableExchange reports a CRC-checked, retransmitted transfer.
@@ -109,16 +114,17 @@ func (n *Node) DeliverReliable(data []byte, bitRate float64, maxAttempts int) (R
 
 func (n *Node) reliable(dir waveform.Direction, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
 	var res proto.ReliableResult
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(ctx context.Context) (proto.JobReport, error) {
 		var err error
-		res, err = n.sess.SendReliable(dir, data, bitRate, maxAttempts)
+		res, err = n.sess.SendReliableContext(ctx, dir, data, bitRate, maxAttempts)
 		if err != nil {
 			return proto.JobReport{}, err
 		}
 		return proto.JobReport{
-			Exchange: true,
-			BitsSent: 8 * len(data),
-			AirtimeS: res.TotalAirtimeS,
+			Exchange:  true,
+			BitsSent:  res.BitsSent,
+			BitErrors: res.BitErrors,
+			AirtimeS:  res.TotalAirtimeS,
 		}, nil
 	})
 	if err != nil {
@@ -140,7 +146,7 @@ func (n *Node) BestUplinkRate() (float64, bool, error) {
 		rate float64
 		ok   bool
 	)
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(context.Context) (proto.JobReport, error) {
 		var err error
 		rate, ok, err = n.sess.AdaptUplink(proto.DefaultRateController())
 		return proto.JobReport{}, err
@@ -170,13 +176,22 @@ func (n *Node) fec(dir waveform.Direction, data []byte, bitRate float64) ([]byte
 		got         []byte
 		corrections int
 	)
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func() (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(ctx context.Context) (proto.JobReport, error) {
 		var err error
-		got, corrections, err = n.sess.SendFEC(dir, data, bitRate, 8)
+		got, corrections, err = n.sess.SendFECContext(ctx, dir, data, bitRate, 8)
 		if err != nil {
 			return proto.JobReport{}, err
 		}
-		return proto.JobReport{Exchange: true, BitsSent: 8 * len(data)}, nil
+		// The FEC transfer is one packet; its channel accounting (wire
+		// bits, pre-correction errors, airtime) is in the session's cached
+		// outcome, which the scheduler slot serializes access to.
+		last := n.sess.LastOutcome
+		return proto.JobReport{
+			Exchange:  true,
+			BitsSent:  last.BitsSent,
+			BitErrors: last.BitErrors,
+			AirtimeS:  last.AirtimeS,
+		}, nil
 	})
 	if err != nil {
 		return nil, corrections, fmt.Errorf("milback: %w", err)

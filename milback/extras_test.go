@@ -61,11 +61,11 @@ func TestBlockerAPI(t *testing.T) {
 	if _, err := n.Localize(); err == nil {
 		t.Fatal("blocked localization should fail")
 	}
-	if !net.RemoveBlocker("person") {
-		t.Fatal("RemoveBlocker failed")
+	if existed, err := net.RemoveBlocker("person"); err != nil || !existed {
+		t.Fatalf("RemoveBlocker = %v, %v; want true, nil", existed, err)
 	}
-	if net.RemoveBlocker("person") {
-		t.Fatal("double removal should be false")
+	if existed, err := net.RemoveBlocker("person"); err != nil || existed {
+		t.Fatalf("double removal = %v, %v; want false, nil", existed, err)
 	}
 	if _, err := n.Localize(); err != nil {
 		t.Fatalf("post-removal localization: %v", err)

@@ -94,7 +94,10 @@ func WithSystemConfig(cfg core.Config) Option {
 
 // WithJobTimeout bounds how long any single scheduled operation (queue wait
 // plus airtime) may take before it fails with ErrCancelled wrapping
-// context.DeadlineExceeded. Zero (the default) means no limit.
+// context.DeadlineExceeded. An operation still queued at the deadline fails
+// immediately; one already on the air finishes its current packet phase
+// first (the channel is never preempted mid-capture) and abandons the
+// remaining phases. Zero (the default) means no limit.
 func WithJobTimeout(d time.Duration) Option {
 	return func(o *options) { o.jobTimeout = d }
 }
@@ -135,7 +138,10 @@ func (nw *Network) Close() {
 }
 
 // Stats is a snapshot of network-wide counters maintained by the airtime
-// scheduler. Totals match the per-exchange sums of the individual results.
+// scheduler. For plain Send/Deliver calls the totals match the
+// per-exchange sums of the individual results; reliable and FEC transfers
+// contribute their wire-level accounting (the framed payload over every
+// attempt, with bit errors counted before any correction).
 type Stats struct {
 	// Exchanges counts completed payload transfers (Send/Deliver; a
 	// reliable or FEC transfer counts once regardless of retransmissions).
@@ -144,8 +150,9 @@ type Stats struct {
 	// and Orientation calls; exchanges embed their own fix and are not
 	// double-counted here).
 	Localizations uint64
-	// BitErrors and BitsSent accumulate payload link quality across all
-	// exchanges.
+	// BitErrors and BitsSent accumulate what crossed the channel across all
+	// exchanges: raw payload bits for Send/Deliver, framed wire bits summed
+	// over attempts (errors pre-correction) for reliable/FEC transfers.
 	BitErrors uint64
 	BitsSent  uint64
 	// AirtimeS is the total simulated air occupancy in seconds.
