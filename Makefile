@@ -1,14 +1,16 @@
 # MilBack-Go build/verify entry points.
 #
 # `make verify` is the PR gate: it vets, builds, runs the full test suite
-# under the race detector (covering the parallel chirp/spectra pipeline and
-# the shared FFT-plan cache), and smoke-runs every benchmark once.
+# under the race detector (covering the parallel chirp/spectra pipeline,
+# the shared FFT-plan cache, and the capture plane's pooled buffers), runs
+# the determinism suite under -race on its own, enforces the capture-plane
+# allocation gate, and smoke-runs every benchmark once.
 
 GO ?= go
 
-.PHONY: verify lint vet fmt-check build test race bench bench-baseline
+.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline
 
-verify: lint build race bench
+verify: lint build race determinism alloc-gate bench
 
 # lint is the static gate: vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -30,6 +32,17 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Bit-exact reproducibility suite alone, under the race detector: catches a
+# scheduler or pooling change that stays race-free but breaks determinism.
+determinism:
+	$(GO) test -run Determinis -race ./...
+
+# Pooled capture plane must allocate <= 50% of the NoPool reference per
+# steady-state localization (compare against the committed BENCH_seed.json
+# and BENCH_pr3.json snapshots).
+alloc-gate:
+	./scripts/alloc_gate.sh
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -166,7 +166,10 @@ func BenchmarkAblation_BackgroundSubtraction(b *testing.B) {
 				return 5
 			},
 		}
-		frames := a.SynthesizeChirps(c, 5, modulated, nil, rfsim.NewNoiseSource(int64(i+1)))
+		frames, err := a.SynthesizeChirps(c, 5, modulated, nil, rfsim.NewNoiseSource(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := a.ProcessLocalization(c, frames); err == nil {
 			detected++
 		}
@@ -383,7 +386,10 @@ func BenchmarkFMCWChirpProcessing(b *testing.B) {
 	ns := rfsim.NewNoiseSource(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		frames := a.SynthesizeChirps(c, 5, tgt, nil, ns)
+		frames, err := a.SynthesizeChirps(c, 5, tgt, nil, ns)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := a.ProcessLocalization(c, frames); err != nil {
 			b.Fatal(err)
 		}
@@ -507,7 +513,10 @@ func benchCapture(b *testing.B, a *ap.AP, nChirps int) {
 		},
 	}
 	for i := 0; i < b.N; i++ {
-		frames := a.SynthesizeChirps(c, nChirps, tgt, nil, rfsim.NewNoiseSource(int64(i+1)))
+		frames, err := a.SynthesizeChirps(c, nChirps, tgt, nil, rfsim.NewNoiseSource(int64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if _, err := a.ProcessLocalization(c, frames); err != nil {
 			b.Fatal(err)
 		}
@@ -536,4 +545,42 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// benchCaptureSteadyState drives the full core localization pipeline — the
+// steady-state workload of a deployed AP — against a prepared system.
+func benchCaptureSteadyState(b *testing.B, cfg core.Config) {
+	sys := core.MustNewSystem(cfg, rfsim.DefaultIndoorScene())
+	n, err := sys.AddNode(rfsim.Point{X: 4, Y: 0.5}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pool and the clutter cache before measuring.
+	if _, err := sys.Localize(n, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Localize(n, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaptureSteadyState measures allocations per localization with
+// the capture plane's pooled buffers and clutter cache active — the PR 3
+// allocation gate (scripts/alloc_gate.sh) compares this against the NoPool
+// reference below.
+func BenchmarkCaptureSteadyState(b *testing.B) {
+	benchCaptureSteadyState(b, core.DefaultConfig())
+}
+
+// BenchmarkCaptureSteadyStateNoPool is the allocate-everything reference:
+// same pipeline, pooling and clutter caching disabled.
+func BenchmarkCaptureSteadyStateNoPool(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.DisableCapturePool = true
+	cfg.DisableClutterCache = true
+	benchCaptureSteadyState(b, cfg)
 }

@@ -14,10 +14,21 @@ package ap
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
+
+// BufferPool recycles complex-sample buffers for the capture hot path. The
+// AP only depends on this seam; the concrete pool lives in internal/capture
+// (which imports ap, hence the interface here). GetComplex must return a
+// zeroed slice of exactly n samples; PutComplex takes ownership of the
+// buffer. A nil BufferPool means plain allocation.
+type BufferPool interface {
+	GetComplex(n int) []complex128
+	PutComplex(buf []complex128)
+}
 
 // Config holds the AP's RF and processing parameters.
 type Config struct {
@@ -121,7 +132,32 @@ type AP struct {
 	rx    [2]*rfsim.Antenna
 	array *rfsim.RxArray
 	scene *rfsim.Scene
+
+	// pool recycles frame and spectrum buffers (nil = allocate).
+	pool BufferPool
+
+	// Clutter-path cache: ClutterPaths is pure in (scene generation,
+	// antenna pointing, carrier), so identical captures — the steady state
+	// of a node being polled — reuse the derived geometry instead of
+	// re-walking the scene.
+	clutterMu    sync.Mutex
+	clutterOff   bool
+	clutterCache map[clutterKey][]rfsim.Path
 }
+
+// clutterKey identifies one clutter derivation. Pointing matters because
+// horn gain toward each reflector depends on where the beam points; the
+// carrier matters because path amplitude is frequency-dependent.
+type clutterKey struct {
+	gen      uint64
+	pointing float64
+	carrier  float64
+}
+
+// clutterCacheCap bounds retained entries. A cell only revisits a handful
+// of pointings (one per node plus the discovery scan grid), so eviction is
+// rare; on overflow or a scene-generation change the cache simply resets.
+const clutterCacheCap = 64
 
 // New builds an AP operating in the given scene (nil means an empty,
 // clutter-free environment).
@@ -171,6 +207,71 @@ func (a *AP) Steer(azimuthRad float64) {
 
 // Pointing returns the current boresight azimuth (radians).
 func (a *AP) Pointing() float64 { return a.tx.PointingRad }
+
+// SetBufferPool installs (or with nil removes) the buffer pool the capture
+// pipelines draw frame and spectrum buffers from.
+func (a *AP) SetBufferPool(p BufferPool) { a.pool = p }
+
+// SetClutterCacheEnabled toggles the clutter-path cache (enabled by
+// default). Disabling it restores derive-per-capture behavior for
+// differential testing.
+func (a *AP) SetClutterCacheEnabled(on bool) {
+	a.clutterMu.Lock()
+	a.clutterOff = !on
+	a.clutterCache = nil
+	a.clutterMu.Unlock()
+}
+
+// clutterPaths returns the scene's clutter paths for the current pointing
+// at carrier fc, cached until the scene mutates or the beam moves. The
+// cached slice is shared and read-only downstream (the synthesizer only
+// reads Path fields).
+func (a *AP) clutterPaths(fc float64) []rfsim.Path {
+	key := clutterKey{gen: a.scene.Generation(), pointing: a.tx.PointingRad, carrier: fc}
+	a.clutterMu.Lock()
+	if a.clutterOff {
+		a.clutterMu.Unlock()
+		return a.scene.ClutterPaths(a.tx, a.rx[0], fc)
+	}
+	if paths, ok := a.clutterCache[key]; ok {
+		a.clutterMu.Unlock()
+		return paths
+	}
+	a.clutterMu.Unlock()
+	paths := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
+	a.clutterMu.Lock()
+	if !a.clutterOff {
+		stale := len(a.clutterCache) >= clutterCacheCap
+		for k := range a.clutterCache {
+			if k.gen != key.gen {
+				stale = true
+			}
+			break
+		}
+		if stale || a.clutterCache == nil {
+			a.clutterCache = make(map[clutterKey][]rfsim.Path)
+		}
+		a.clutterCache[key] = paths
+	}
+	a.clutterMu.Unlock()
+	return paths
+}
+
+// getComplex draws a zeroed buffer from the pool, or allocates one.
+func (a *AP) getComplex(n int) []complex128 {
+	if a.pool == nil {
+		return make([]complex128, n)
+	}
+	return a.pool.GetComplex(n)
+}
+
+// putComplex returns a buffer to the pool; without a pool it is a no-op and
+// the buffer is left to the GC, which is the historical behavior.
+func (a *AP) putComplex(buf []complex128) {
+	if a.pool != nil {
+		a.pool.PutComplex(buf)
+	}
+}
 
 // noisePowerW returns the receiver noise power (W) over bandwidth bw.
 func (a *AP) noisePowerW(bw float64) float64 {

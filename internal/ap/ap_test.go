@@ -1,6 +1,7 @@
 package ap
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -69,11 +70,24 @@ func pointTarget(pos rfsim.Point, gainDBi float64) *BackscatterTarget {
 	}
 }
 
+// synth returns an unwrapper for SynthesizeChirps* results at call sites
+// with known-good arguments, curried so the multi-valued call can be the
+// closure's entire argument list.
+func synth(tb testing.TB) func([]ChirpFrame, error) []ChirpFrame {
+	return func(frames []ChirpFrame, err error) []ChirpFrame {
+		tb.Helper()
+		if err != nil {
+			tb.Fatalf("synthesize: %v", err)
+		}
+		return frames
+	}
+}
+
 func TestSynthesizeChirpsBasics(t *testing.T) {
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
 	tgt := pointTarget(rfsim.Point{X: 3}, 25)
-	frames := a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(1))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(1)))
 	if len(frames) != 5 {
 		t.Fatalf("frames = %d", len(frames))
 	}
@@ -100,18 +114,23 @@ func TestSynthesizeChirpsBasics(t *testing.T) {
 
 func TestSynthesizeChirpsValidation(t *testing.T) {
 	a := MustNew(DefaultConfig(), nil)
-	for _, f := range []func(){
-		func() { a.SynthesizeChirps(waveform.Chirp{}, 5, nil, nil, nil) },
-		func() { a.SynthesizeChirps(a.Config().LocalizationChirp, 0, nil, nil, nil) },
+	for i, f := range []func() ([]ChirpFrame, error){
+		func() ([]ChirpFrame, error) { return a.SynthesizeChirps(waveform.Chirp{}, 5, nil, nil, nil) },
+		func() ([]ChirpFrame, error) {
+			return a.SynthesizeChirps(a.Config().LocalizationChirp, 0, nil, nil, nil)
+		},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+		frames, err := f()
+		if err == nil {
+			t.Errorf("case %d: expected error", i)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("case %d: error %v does not wrap ErrInvalidConfig", i, err)
+		}
+		if frames != nil {
+			t.Errorf("case %d: got frames alongside error", i)
+		}
 	}
 }
 
@@ -120,7 +139,7 @@ func TestProcessLocalizationRecoversRange(t *testing.T) {
 	c := a.Config().LocalizationChirp
 	for _, d := range []float64{1, 2.5, 5, 8} {
 		tgt := pointTarget(rfsim.Point{X: d}, 25)
-		frames := a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(int64(d*100)))
+		frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(int64(d*100))))
 		res, err := a.ProcessLocalization(c, frames)
 		if err != nil {
 			t.Fatalf("d=%g: %v", d, err)
@@ -139,7 +158,7 @@ func TestProcessLocalizationRecoversAngle(t *testing.T) {
 		pos := rfsim.PolarPoint(3, rfsim.DegToRad(deg))
 		a.Steer(rfsim.DegToRad(deg)) // AP tracks the node's direction
 		tgt := pointTarget(pos, 25)
-		frames := a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(int64(deg)+500))
+		frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(int64(deg)+500)))
 		res, err := a.ProcessLocalization(c, frames)
 		if err != nil {
 			t.Fatalf("deg=%g: %v", deg, err)
@@ -160,7 +179,7 @@ func TestBackgroundSubtractionRemovesClutter(t *testing.T) {
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
 	tgt := pointTarget(rfsim.Point{X: 4}, 12) // modest node gain
-	frames := a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(7))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(7)))
 	res, err := a.ProcessLocalization(c, frames)
 	if err != nil {
 		t.Fatalf("%v", err)
@@ -175,7 +194,7 @@ func TestProcessLocalizationFailsWithoutTarget(t *testing.T) {
 	// hallucinate a range.
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
-	frames := a.SynthesizeChirps(c, 5, nil, nil, rfsim.NewNoiseSource(9))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, nil, nil, rfsim.NewNoiseSource(9)))
 	if _, err := a.ProcessLocalization(c, frames); err == nil {
 		t.Fatal("expected failure with no modulated target")
 	}
@@ -194,7 +213,7 @@ func TestStaticTargetInvisibleModulatedVisible(t *testing.T) {
 		Pos:     rfsim.Point{X: 4},
 		GainDBi: func(int, float64) float64 { return 25 },
 	}
-	frames := a.SynthesizeChirps(c, 5, static, nil, rfsim.NewNoiseSource(11))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, static, nil, rfsim.NewNoiseSource(11)))
 	if _, err := a.ProcessLocalization(c, frames); err == nil {
 		t.Fatal("static target should not be detected")
 	}
@@ -217,7 +236,7 @@ func TestEstimateOrientationProfile(t *testing.T) {
 			return base - 20
 		},
 	}
-	frames := a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(13))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, rfsim.NewNoiseSource(13)))
 	loc, err := a.ProcessLocalization(c, frames)
 	if err != nil {
 		t.Fatalf("localization: %v", err)
@@ -238,7 +257,7 @@ func TestEstimateOrientationProfileValidation(t *testing.T) {
 	a := MustNew(DefaultConfig(), nil)
 	c := a.Config().LocalizationChirp
 	tgt := pointTarget(rfsim.Point{X: 2}, 25)
-	frames := a.SynthesizeChirps(c, 5, tgt, nil, nil)
+	frames := synth(t)(a.SynthesizeChirps(c, 5, tgt, nil, nil))
 	if _, err := a.EstimateOrientationProfile(c, frames, 100, 0); err == nil {
 		t.Error("maskBins=0 should fail")
 	}
@@ -261,7 +280,7 @@ func TestDetectTargetsMultiNode(t *testing.T) {
 		pointTarget(rfsim.Point{X: 5}, 25),
 		pointTarget(rfsim.Point{X: 8}, 25),
 	}
-	frames := a.SynthesizeChirpsMulti(c, 5, tgts, nil, rfsim.NewNoiseSource(41))
+	frames := synth(t)(a.SynthesizeChirpsMulti(c, 5, tgts, nil, rfsim.NewNoiseSource(41)))
 	dets, err := a.DetectTargets(c, frames, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -285,7 +304,7 @@ func TestDetectTargetsMultiNode(t *testing.T) {
 func TestDetectTargetsValidation(t *testing.T) {
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
-	frames := a.SynthesizeChirps(c, 5, nil, nil, rfsim.NewNoiseSource(43))
+	frames := synth(t)(a.SynthesizeChirps(c, 5, nil, nil, rfsim.NewNoiseSource(43)))
 	if _, err := a.DetectTargets(c, frames, 0); err == nil {
 		t.Error("maxTargets 0 should fail")
 	}
@@ -306,7 +325,7 @@ func TestDetectTargetsCapsAtMax(t *testing.T) {
 		pointTarget(rfsim.Point{X: 5}, 25),
 		pointTarget(rfsim.Point{X: 8}, 25),
 	}
-	frames := a.SynthesizeChirpsMulti(c, 5, tgts, nil, rfsim.NewNoiseSource(47))
+	frames := synth(t)(a.SynthesizeChirpsMulti(c, 5, tgts, nil, rfsim.NewNoiseSource(47)))
 	dets, err := a.DetectTargets(c, frames, 2)
 	if err != nil {
 		t.Fatal(err)

@@ -129,7 +129,7 @@ func (a *AP) SynthesizeUplink(nf *fsa.FSA, syms []waveform.Symbol, tones wavefor
 	selfAmp := math.Sqrt(a.cfg.TxPowerW/2) * math.Pow(10, -30.0/20) // −30 dB TX→RX coupling
 	clutterDC := 0.0
 	fc := (tones.FA + tones.FB) / 2
-	for _, p := range a.scene.ClutterPaths(a.tx, a.rx[0], fc) {
+	for _, p := range a.clutterPaths(fc) {
 		clutterDC += p.Amplitude * math.Sqrt(a.cfg.TxPowerW/2)
 	}
 	dcA := complex(selfAmp+clutterDC, 0)

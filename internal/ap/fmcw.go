@@ -19,6 +19,12 @@ import (
 // re-exports it as milback.ErrNoDetection).
 var ErrNoDetection = errors.New("no backscatter detection")
 
+// ErrInvalidConfig reports a capture request the hardware could not run:
+// an invalid chirp program or a non-positive chirp count. Synthesis errors
+// wrap it so callers (core, the milback facade) can errors.Is their way
+// through the chain instead of recovering panics.
+var ErrInvalidConfig = errors.New("invalid configuration")
+
 // BackscatterTarget describes the node as the FMCW processor sees it: a
 // point reflector at a position whose effective reflection gain depends on
 // the chirp index (switch state) and the instantaneous chirp frequency
@@ -61,8 +67,12 @@ type ChirpFrame struct {
 // round-trip delay τ appears as the beat tone A·exp(j(2π·S·τ·t − 2π·f0·τ)),
 // with the inter-antenna phase offset of its arrival angle. This is the
 // standard dechirp-domain FMCW model (DESIGN.md §4.3).
+// An invalid chirp or chirp count returns an error wrapping
+// ErrInvalidConfig. When a buffer pool is installed (SetBufferPool) the
+// frame buffers are pooled: the caller owns them until it hands them back
+// (the capture plane's Capture.Release does this).
 func (a *AP) SynthesizeChirps(c waveform.Chirp, nChirps int, tgt *BackscatterTarget,
-	extra []ModulatedPath, ns *rfsim.NoiseSource) []ChirpFrame {
+	extra []ModulatedPath, ns *rfsim.NoiseSource) ([]ChirpFrame, error) {
 	var tgts []*BackscatterTarget
 	if tgt != nil {
 		tgts = []*BackscatterTarget{tgt}
@@ -74,12 +84,12 @@ func (a *AP) SynthesizeChirps(c waveform.Chirp, nChirps int, tgt *BackscatterTar
 // backscatter targets — the capture model when several nodes respond in the
 // same discovery epoch.
 func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*BackscatterTarget,
-	extra []ModulatedPath, ns *rfsim.NoiseSource) []ChirpFrame {
+	extra []ModulatedPath, ns *rfsim.NoiseSource) ([]ChirpFrame, error) {
 	if err := c.Validate(); err != nil {
-		panic(fmt.Sprintf("ap: %v", err))
+		return nil, fmt.Errorf("ap: %w: %v", ErrInvalidConfig, err)
 	}
 	if nChirps < 1 {
-		panic(fmt.Sprintf("ap: need at least one chirp, got %d", nChirps))
+		return nil, fmt.Errorf("ap: %w: need at least one chirp, got %d", ErrInvalidConfig, nChirps)
 	}
 	fs := a.cfg.BeatSampleRateHz
 	nSamp := c.SampleCount(fs)
@@ -101,7 +111,7 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 	cEff := c
 	cEff.FreqHigh = c.FreqLow + (c.FreqHigh-c.FreqLow)*(1+eta)
 
-	clutter := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
+	clutter := a.clutterPaths(fc)
 	noisePower := a.noisePowerW(fs)
 
 	// Per-target constants, hoisted out of the chirp loop: geometry and the
@@ -151,7 +161,7 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 		noise = make([][2][]complex128, nChirps)
 		for k := range noise {
 			for m := 0; m < 2; m++ {
-				buf := make([]complex128, nSamp)
+				buf := a.getComplex(nSamp)
 				ns.AddComplexAWGN(buf, noisePower)
 				noise[k][m] = buf
 			}
@@ -162,7 +172,7 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 	parallel.ForEach(nChirps, func(k int) {
 		var frame ChirpFrame
 		for m := 0; m < 2; m++ {
-			frame.Rx[m] = make([]complex128, nSamp)
+			frame.Rx[m] = a.getComplex(nSamp)
 		}
 		// Static clutter: constant per chirp.
 		for _, p := range clutter {
@@ -200,11 +210,16 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 				for i := range frame.Rx[m] {
 					frame.Rx[m][i] += nb[i]
 				}
+				// The chirp's noise buffer is folded in; recycle it. Each k
+				// is owned by exactly one worker and the pool is locked, so
+				// this is safe inside the fan-out.
+				noise[k][m] = nil
+				a.putComplex(nb)
 			}
 		}
 		frames[k] = frame
 	})
-	return frames
+	return frames, nil
 }
 
 // addBeatTone adds one path's beat contribution to both antennas. If ampAt
@@ -265,12 +280,12 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 			}
 		}
 	}
-	// The analysis window depends only on the frame length: hoist it out of
-	// the per-chirp × per-antenna loop (captures share one window) instead of
-	// recomputing it 2·len(frames) times.
+	// The analysis window depends only on the frame length: share the
+	// process-wide cached window (read-only) instead of recomputing it
+	// 2·len(frames) times per capture.
 	var shared []float64
 	if uniform {
-		shared = dsp.Hann(n0)
+		shared = dsp.HannCached(n0)
 	}
 	plan := dsp.PlanFFT(nfft)
 	spectra := make([][2][]complex128, len(frames))
@@ -279,9 +294,9 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 			x := frames[k].Rx[m]
 			w := shared
 			if w == nil {
-				w = dsp.Hann(len(x))
+				w = dsp.HannCached(len(x))
 			}
-			buf := make([]complex128, nfft)
+			buf := a.getComplex(nfft)
 			for i := range x {
 				buf[i] = x[i] * complex(w[i], 0)
 			}
@@ -289,17 +304,39 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 			spectra[k][m] = buf
 		}
 	})
+	// Form the consecutive differences in place, reusing spectrum k's buffer
+	// for diff k (spectrum k+1 is still intact when diff k is computed, and
+	// is only overwritten afterwards by its own diff). Value-identical to the
+	// historical allocate-then-subtract, and the caller releases the diffs
+	// back to the pool via releaseDiffs when done.
 	diffs := make([][2][]complex128, len(frames)-1)
 	for k := 0; k+1 < len(spectra); k++ {
 		for m := 0; m < 2; m++ {
-			d := make([]complex128, nfft)
+			d := spectra[k][m]
+			next := spectra[k+1][m]
 			for i := range d {
-				d[i] = spectra[k+1][m][i] - spectra[k][m][i]
+				d[i] = next[i] - d[i]
 			}
 			diffs[k][m] = d
 		}
 	}
+	// The last chirp's spectra are pure inputs; recycle them now.
+	for m := 0; m < 2; m++ {
+		a.putComplex(spectra[len(spectra)-1][m])
+	}
 	return diffs, nil
+}
+
+// releaseDiffs hands background-subtraction spectra back to the buffer
+// pool. Every consumer of subtractedSpectra defers it; the diffs must not
+// be read afterwards.
+func (a *AP) releaseDiffs(diffs [][2][]complex128) {
+	for k := range diffs {
+		for m := range diffs[k] {
+			a.putComplex(diffs[k][m])
+			diffs[k][m] = nil
+		}
+	}
 }
 
 // LocalizationResult is the output of ProcessLocalization (§5.1, §9.2).
@@ -333,6 +370,7 @@ func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (Localiz
 	if err != nil {
 		return LocalizationResult{}, err
 	}
+	defer a.releaseDiffs(diffs)
 	nfft := a.cfg.FFTSize
 	fs := a.cfg.BeatSampleRateHz
 	// Accumulate |D|² over subtraction pairs on antenna 0; positive beat
@@ -408,6 +446,7 @@ func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
 	if err != nil {
 		return OrientationProfile{}, err
 	}
+	defer a.releaseDiffs(diffs)
 	nfft := a.cfg.FFTSize
 	if peakBin <= 0 || peakBin >= nfft/2 {
 		return OrientationProfile{}, fmt.Errorf("ap: peak bin %d outside (0, %d)", peakBin, nfft/2)
@@ -415,8 +454,9 @@ func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
 	fs := a.cfg.BeatSampleRateHz
 	nSamp := c.SampleCount(fs)
 	env := make([]float64, nSamp)
+	masked := a.getComplex(nfft)
 	for _, d := range diffs {
-		masked := make([]complex128, nfft)
+		clear(masked)
 		lo, hi := peakBin-maskBins, peakBin+maskBins
 		if lo < 1 {
 			lo = 1
@@ -432,9 +472,10 @@ func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
 			env[i] += cmplx.Abs(masked[i])
 		}
 	}
+	a.putComplex(masked)
 	// The Hann analysis window tapers the ends of the chirp; undo it so the
 	// envelope reflects the FSA gain profile, avoiding the near-zero edges.
-	w := dsp.Hann(nSamp)
+	w := dsp.HannCached(nSamp)
 	for i := range env {
 		if w[i] > 0.05 {
 			env[i] /= w[i]
@@ -468,6 +509,7 @@ func (a *AP) EstimateRadialVelocity(c waveform.Chirp, frames []ChirpFrame, peakB
 	if err != nil {
 		return 0, err
 	}
+	defer a.releaseDiffs(diffs)
 	if len(diffs) < 2 {
 		return 0, fmt.Errorf("ap: velocity needs >= 3 chirps, got %d", len(frames))
 	}
@@ -517,6 +559,7 @@ func (a *AP) DetectTargets(c waveform.Chirp, frames []ChirpFrame, maxTargets int
 	if err != nil {
 		return nil, err
 	}
+	defer a.releaseDiffs(diffs)
 	nfft := a.cfg.FFTSize
 	fs := a.cfg.BeatSampleRateHz
 	half := nfft / 2

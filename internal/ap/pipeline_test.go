@@ -26,8 +26,8 @@ func captureBoth(t *testing.T, a *AP, nChirps int, seed int64) (serial, par []Ch
 				return 1e-7
 			},
 		}}
-		return a.SynthesizeChirpsMulti(c, nChirps, []*BackscatterTarget{tgt, pointTarget(rfsim.Point{X: 5.5, Y: 1}, 22)},
-			mirror, rfsim.NewNoiseSource(seed))
+		return synth(t)(a.SynthesizeChirpsMulti(c, nChirps, []*BackscatterTarget{tgt, pointTarget(rfsim.Point{X: 5.5, Y: 1}, 22)},
+			mirror, rfsim.NewNoiseSource(seed)))
 	}
 	old := runtime.GOMAXPROCS(1)
 	serial = mk()
@@ -123,7 +123,7 @@ func TestDopplerAmplitudeFollowsAdvancedRange(t *testing.T) {
 		GainDBi:          func(k int, f float64) float64 { return 25 },
 		RadialVelocityMS: vel,
 	}
-	frames := a.SynthesizeChirps(c, nChirps, tgt, nil, nil)
+	frames := synth(t)(a.SynthesizeChirps(c, nChirps, tgt, nil, nil))
 	rms := func(x []complex128) float64 {
 		var p float64
 		for _, v := range x {

@@ -47,6 +47,7 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 	if err != nil {
 		return RangeDopplerMap{}, err
 	}
+	defer a.releaseDiffs(diffs)
 	spectra := make([][]complex128, len(diffs))
 	for k := range diffs {
 		spectra[k] = diffs[k][0]

@@ -11,7 +11,7 @@ func TestRangeDopplerMapStaticNode(t *testing.T) {
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
 	tgt := pointTarget(rfsim.Point{X: 3}, 25) // toggling, static
-	frames := a.SynthesizeChirps(c, 64, tgt, nil, rfsim.NewNoiseSource(501))
+	frames := synth(t)(a.SynthesizeChirps(c, 64, tgt, nil, rfsim.NewNoiseSource(501)))
 	m, err := a.ComputeRangeDopplerMap(c, frames)
 	if err != nil {
 		t.Fatal(err)
@@ -36,7 +36,7 @@ func TestRangeDopplerMapMovingNode(t *testing.T) {
 	c := a.Config().LocalizationChirp
 	for _, vel := range []float64{-8, 5, 15} {
 		tgt := movingTarget(4, vel)
-		frames := a.SynthesizeChirps(c, 128, tgt, nil, rfsim.NewNoiseSource(int64(vel)+600))
+		frames := synth(t)(a.SynthesizeChirps(c, 128, tgt, nil, rfsim.NewNoiseSource(int64(vel)+600)))
 		m, err := a.ComputeRangeDopplerMap(c, frames)
 		if err != nil {
 			t.Fatal(err)
@@ -61,7 +61,7 @@ func TestRangeDopplerSeparatesTwoNodes(t *testing.T) {
 	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
 	c := a.Config().LocalizationChirp
 	tgts := []*BackscatterTarget{movingTarget(4, 0), movingTarget(4, 12)}
-	frames := a.SynthesizeChirpsMulti(c, 128, tgts, nil, rfsim.NewNoiseSource(620))
+	frames := synth(t)(a.SynthesizeChirpsMulti(c, 128, tgts, nil, rfsim.NewNoiseSource(620)))
 	m, err := a.ComputeRangeDopplerMap(c, frames)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestRangeDopplerValidation(t *testing.T) {
 	a := MustNew(DefaultConfig(), nil)
 	c := a.Config().LocalizationChirp
 	tgt := pointTarget(rfsim.Point{X: 3}, 25)
-	frames := a.SynthesizeChirps(c, 8, tgt, nil, nil)
+	frames := synth(t)(a.SynthesizeChirps(c, 8, tgt, nil, nil))
 	if _, err := a.ComputeRangeDopplerMap(c, frames[:2]); err == nil {
 		t.Error("too few chirps should fail")
 	}

@@ -1,0 +1,70 @@
+package capture
+
+import "sync"
+
+// Pool recycles the complex-sample buffers that dominate a capture's
+// allocations: chirp-frame baseband buffers (one per receive antenna per
+// chirp) and zero-padded range-FFT spectra. Buffers are grouped into exact
+// size classes — a capture pipeline only ever uses a handful of distinct
+// lengths (the chirp sample count and the configured FFT size) — so a Get
+// never returns an over-sized slice.
+//
+// GetComplex always returns a zeroed slice: every consumer (frame
+// synthesis, windowed FFT input, masked IFFT scratch) accumulates with +=
+// or relies on zero padding, so reuse must be invisible. The zeroing is a
+// memclr, far cheaper than the allocation + GC traffic it replaces.
+//
+// The free lists are plain slices under a mutex rather than sync.Pool:
+// Put-ing a slice into a sync.Pool boxes the slice header, costing one
+// allocation per release — exactly the traffic the pool exists to remove.
+// Each class is capped so a burst (a long Doppler capture) cannot pin
+// memory forever.
+//
+// A nil *Pool is valid and falls back to plain allocation (the NoPool
+// reference mode the differential tests compare against).
+type Pool struct {
+	mu      sync.Mutex
+	classes map[int][][]complex128
+}
+
+// classCap bounds retained buffers per size class. The steady-state
+// localization pipeline keeps ~40 buffers in flight; 256 leaves headroom
+// for long Doppler bursts without letting one burst pin memory forever.
+const classCap = 256
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{classes: make(map[int][][]complex128)} }
+
+// GetComplex returns a zeroed []complex128 of length n, recycled when a
+// buffer of that exact class is available.
+func (p *Pool) GetComplex(n int) []complex128 {
+	if p == nil || n == 0 {
+		return make([]complex128, n)
+	}
+	p.mu.Lock()
+	free := p.classes[n]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		free[len(free)-1] = nil
+		p.classes[n] = free[:len(free)-1]
+		p.mu.Unlock()
+		clear(buf)
+		return buf
+	}
+	p.mu.Unlock()
+	return make([]complex128, n)
+}
+
+// PutComplex returns a buffer to its size class. The caller must not touch
+// the slice afterwards — it may be handed to the next capture at any time.
+func (p *Pool) PutComplex(buf []complex128) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	p.mu.Lock()
+	if free := p.classes[len(buf)]; len(free) < classCap {
+		p.classes[len(buf)] = append(free, buf)
+	}
+	p.mu.Unlock()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/rfsim"
+)
+
+// capturePair builds a default (pooled, clutter-cached) system and a
+// reference system with both optimizations disabled, over independent but
+// identical scenes, each with one node at the same pose.
+func capturePair(t *testing.T) (fast, ref *System, fastNode, refNode *node.Node) {
+	t.Helper()
+	fast = MustNewSystem(DefaultConfig(), rfsim.DefaultIndoorScene())
+	refCfg := DefaultConfig()
+	refCfg.DisableCapturePool = true
+	refCfg.DisableClutterCache = true
+	ref = MustNewSystem(refCfg, rfsim.DefaultIndoorScene())
+	var err error
+	if fastNode, err = fast.AddNode(rfsim.Point{X: 4, Y: 0.5}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if refNode, err = ref.AddNode(rfsim.Point{X: 4, Y: 0.5}, 5); err != nil {
+		t.Fatal(err)
+	}
+	return fast, ref, fastNode, refNode
+}
+
+// TestClutterCacheInvalidation interleaves scene mutations with captures:
+// after every mutation the cached system must match the uncached reference
+// bit-for-bit, i.e. the generation bump actually invalidated the cache.
+func TestClutterCacheInvalidation(t *testing.T) {
+	fast, ref, fn, rn := capturePair(t)
+	both := func(mutate func(s *rfsim.Scene)) {
+		mutate(fast.AP.Scene())
+		mutate(ref.AP.Scene())
+	}
+	localize := func(step string, seed int64) LocalizationOutcome {
+		t.Helper()
+		got, err := fast.Localize(fn, seed)
+		if err != nil {
+			t.Fatalf("%s: cached localize: %v", step, err)
+		}
+		want, err := ref.Localize(rn, seed)
+		if err != nil {
+			t.Fatalf("%s: reference localize: %v", step, err)
+		}
+		if got != want {
+			t.Fatalf("%s: cached outcome diverged from uncached:\ncached   %+v\nuncached %+v", step, got, want)
+		}
+		return got
+	}
+
+	base := localize("warm cache", 1)
+	// The blocker crosses the AP -> back-wall clutter path (Y=0 at X=6) but
+	// not the node's line of sight, so localization still succeeds while the
+	// clutter geometry — and therefore the capture — changes.
+	blocker := rfsim.Obstruction{Name: "cabinet", A: rfsim.Point{X: 6, Y: -0.3}, B: rfsim.Point{X: 6, Y: 0.3}, LossDB: 40}
+	both(func(s *rfsim.Scene) { s.AddObstruction(blocker) })
+	blocked := localize("after AddObstruction", 1)
+	if blocked == base {
+		t.Fatal("obstruction did not change the outcome; the test cannot detect a stale cache")
+	}
+	both(func(s *rfsim.Scene) {
+		if !s.RemoveObstruction("cabinet") {
+			t.Fatal("cabinet not found")
+		}
+	})
+	if restored := localize("after RemoveObstruction", 1); restored != base {
+		t.Fatalf("removing the blocker did not restore the original outcome:\nbefore %+v\nafter  %+v", base, restored)
+	}
+	both(func(s *rfsim.Scene) {
+		s.AddReflector(rfsim.Reflector{Name: "cart", Position: rfsim.Point{X: 8, Y: -2}, RCS: 2})
+	})
+	if withCart := localize("after AddReflector", 1); withCart == base {
+		t.Fatal("new reflector did not change the outcome")
+	}
+	both(func(s *rfsim.Scene) {
+		if !s.RemoveReflector("cart") {
+			t.Fatal("cart not found")
+		}
+	})
+	localize("after RemoveReflector", 1)
+}
+
+// TestCaptureDifferentialAcrossSeeds is the PR's end-to-end differential
+// gate: localization, radial velocity, and uplink BER through the pooled +
+// cached capture plane must equal the allocate-everything reference for
+// several seeds, including repeated runs that actually recycle buffers.
+func TestCaptureDifferentialAcrossSeeds(t *testing.T) {
+	fast, ref, fn, rn := capturePair(t)
+	payload := []byte("capture-plane differential payload")
+	for seed := int64(1); seed <= 3; seed++ {
+		for round := 0; round < 2; round++ {
+			gotLoc, gotErr := fast.Localize(fn, seed)
+			wantLoc, wantErr := ref.Localize(rn, seed)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d: localize error mismatch: %v vs %v", seed, gotErr, wantErr)
+			}
+			if gotLoc != wantLoc {
+				t.Fatalf("seed %d round %d: localization diverged:\npooled    %+v\nreference %+v", seed, round, gotLoc, wantLoc)
+			}
+
+			gotV, gotErr := fast.MeasureRadialVelocity(fn, 1.5, 32, seed)
+			wantV, wantErr := ref.MeasureRadialVelocity(rn, 1.5, 32, seed)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d: velocity error mismatch: %v vs %v", seed, gotErr, wantErr)
+			}
+			if gotV != wantV {
+				t.Fatalf("seed %d round %d: velocity diverged: %v vs %v", seed, round, gotV, wantV)
+			}
+
+			gotUp, gotErr := fast.Uplink(fn, 5, payload, 10e6, seed)
+			wantUp, wantErr := ref.Uplink(rn, 5, payload, 10e6, seed)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("seed %d: uplink error mismatch: %v vs %v", seed, gotErr, wantErr)
+			}
+			if gotUp.BitErrors != wantUp.BitErrors || gotUp.BitsSent != wantUp.BitsSent ||
+				gotUp.SNRdB != wantUp.SNRdB || !bytes.Equal(gotUp.Data, wantUp.Data) {
+				t.Fatalf("seed %d round %d: uplink diverged:\npooled    %+v\nreference %+v", seed, round, gotUp, wantUp)
+			}
+		}
+	}
+}

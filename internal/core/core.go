@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/ap"
+	"repro/internal/capture"
 	"repro/internal/fsa"
 	"repro/internal/node"
 	"repro/internal/rfsim"
@@ -54,6 +55,13 @@ type Config struct {
 	// AP's own sweep nonlinearity) distort that mapping — the dominant
 	// node-side orientation error on real hardware (Fig 13a).
 	NodeClockSkewStd float64
+	// DisableCapturePool turns off capture-buffer recycling (every capture
+	// allocates fresh frames and spectra) and DisableClutterCache turns off
+	// the AP's clutter-geometry cache. Both exist for differential testing
+	// against the historical allocate-and-rederive behavior; results are
+	// bit-identical either way.
+	DisableCapturePool  bool
+	DisableClutterCache bool
 }
 
 // DefaultConfig returns the §8 prototype configuration.
@@ -75,9 +83,10 @@ func DefaultConfig() Config {
 
 // System is one MilBack deployment: an AP in a scene plus registered nodes.
 type System struct {
-	AP    *ap.AP
-	cfg   Config
-	nodes []*node.Node
+	AP      *ap.AP
+	cfg     Config
+	nodes   []*node.Node
+	capture *capture.Plane
 }
 
 // NewSystem builds a system operating in the given scene (nil = no clutter).
@@ -102,7 +111,14 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{AP: a, cfg: cfg}, nil
+	var opts []capture.Option
+	if cfg.DisableCapturePool {
+		opts = append(opts, capture.NoPool())
+	}
+	if cfg.DisableClutterCache {
+		opts = append(opts, capture.NoCache())
+	}
+	return &System{AP: a, cfg: cfg, capture: capture.NewPlane(a, opts...)}, nil
 }
 
 // MustNewSystem is NewSystem for known-good configs.
@@ -116,6 +132,12 @@ func MustNewSystem(cfg Config, scene *rfsim.Scene) *System {
 
 // Config returns the system configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// Capture returns the system's capture plane — the single entry point every
+// over-the-air pipeline (localization, orientation, velocity, comm) flows
+// through. The scheduler engine brackets each airtime grant with its
+// BeginJob/End so leaked capture buffers are reclaimed per job.
+func (s *System) Capture() *capture.Plane { return s.capture }
 
 // AddNode places a new node at the given position (meters, AP at origin)
 // and orientation (degrees) and registers it with the system.
@@ -225,19 +247,40 @@ type LocalizationOutcome struct {
 // profile. Deterministic for a given seed.
 func (s *System) Localize(n *node.Node, seed int64) (LocalizationOutcome, error) {
 	c := s.cfg.AP.LocalizationChirp
-	s.AP.Steer(n.AzimuthRad())
-	ns := rfsim.NewNoiseSource(seed)
+	lease := s.capture.Acquire(n.AzimuthRad(), seed)
+	defer lease.Close()
+	// The mirror artifact depends only on node geometry, not on the phase:
+	// build it once and share it across both capture requests.
+	mirror := s.mirrorPaths(n)
 
 	// Phase 1: ranging + angle (§5.1, both ports toggling).
-	frames := s.AP.SynthesizeChirps(c, s.cfg.LocalizationChirps, localizationTarget(n), s.mirrorPaths(n), ns)
-	loc, err := s.AP.ProcessLocalization(c, frames)
+	cap1, err := lease.Chirps(capture.Request{
+		Chirp:   c,
+		NChirps: s.cfg.LocalizationChirps,
+		Targets: []*ap.BackscatterTarget{localizationTarget(n)},
+		Extra:   mirror,
+	})
 	if err != nil {
 		return LocalizationOutcome{}, fmt.Errorf("core: localization: %w", err)
 	}
+	loc, err := s.AP.ProcessLocalization(c, cap1.Frames)
+	if err != nil {
+		return LocalizationOutcome{}, fmt.Errorf("core: localization: %w", err)
+	}
+	cap1.Release()
 
-	// Phase 2: orientation (§5.2a, port B toggling only).
-	oframes := s.AP.SynthesizeChirps(c, s.cfg.LocalizationChirps, orientationTarget(n), s.mirrorPaths(n), ns)
-	prof, err := s.AP.EstimateOrientationProfile(c, oframes, int(math.Round(loc.PeakBin)), s.cfg.OrientationMaskBins)
+	// Phase 2: orientation (§5.2a, port B toggling only), continuing the
+	// lease's noise stream.
+	cap2, err := lease.Chirps(capture.Request{
+		Chirp:   c,
+		NChirps: s.cfg.LocalizationChirps,
+		Targets: []*ap.BackscatterTarget{orientationTarget(n)},
+		Extra:   mirror,
+	})
+	if err != nil {
+		return LocalizationOutcome{}, fmt.Errorf("core: orientation: %w", err)
+	}
+	prof, err := s.AP.EstimateOrientationProfile(c, cap2.Frames, int(math.Round(loc.PeakBin)), s.cfg.OrientationMaskBins)
 	if err != nil {
 		return LocalizationOutcome{}, fmt.Errorf("core: orientation: %w", err)
 	}
@@ -264,16 +307,25 @@ func (s *System) MeasureRadialVelocity(n *node.Node, radialVelocityMS float64,
 		return 0, fmt.Errorf("core: velocity needs >= 3 chirps, got %d", nChirps)
 	}
 	c := s.cfg.AP.LocalizationChirp
-	s.AP.Steer(n.AzimuthRad())
-	ns := rfsim.NewNoiseSource(seed)
+	lease := s.capture.Acquire(n.AzimuthRad(), seed)
+	defer lease.Close()
 	tgt := localizationTarget(n)
 	tgt.RadialVelocityMS = radialVelocityMS
-	frames := s.AP.SynthesizeChirps(c, nChirps, tgt, s.mirrorPaths(n), ns)
-	loc, err := s.AP.ProcessLocalization(c, frames)
+	capt, err := lease.Chirps(capture.Request{
+		Chirp:   c,
+		NChirps: nChirps,
+		Targets: []*ap.BackscatterTarget{tgt},
+		Extra:   s.mirrorPaths(n),
+	})
+	if err != nil {
+		return 0, fmt.Errorf("core: velocity capture: %w", err)
+	}
+	// Ranging and Doppler read the same frames; the lease releases them.
+	loc, err := s.AP.ProcessLocalization(c, capt.Frames)
 	if err != nil {
 		return 0, fmt.Errorf("core: velocity localization: %w", err)
 	}
-	return s.AP.EstimateRadialVelocity(c, frames, loc.PeakIndex())
+	return s.AP.EstimateRadialVelocity(c, capt.Frames, loc.PeakIndex())
 }
 
 // SenseOrientationAtNode runs the §5.2b node-side pipeline: the AP sends one
@@ -283,8 +335,9 @@ func (s *System) MeasureRadialVelocity(n *node.Node, radialVelocityMS float64,
 // inverts the *nominal* chirp, so both flow into the estimate exactly as on
 // the bench.
 func (s *System) SenseOrientationAtNode(n *node.Node, seed int64) (node.OrientationResult, error) {
-	s.AP.Steer(n.AzimuthRad())
-	ns := rfsim.NewNoiseSource(seed)
+	lease := s.capture.Acquire(n.AzimuthRad(), seed)
+	defer lease.Close()
+	ns := lease.Noise
 	nominal := s.cfg.AP.OrientationChirp
 	actual := nominal
 	eta := ns.Gaussian(s.cfg.AP.SweepNonlinearityStd)

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/ap"
+	"repro/internal/capture"
 	"repro/internal/rfsim"
 )
 
@@ -74,7 +75,10 @@ func (s *System) Discover(cfg ScanConfig, seed int64) ([]NodeDetection, error) {
 		return nil, err
 	}
 	c := s.cfg.AP.LocalizationChirp
-	ns := rfsim.NewNoiseSource(seed)
+	// One lease spans the whole sweep: a single noise stream, with the beam
+	// re-steered per pointing.
+	lease := s.capture.Acquire(rfsim.DegToRad(cfg.StartDeg), seed)
+	defer lease.Close()
 
 	targets := make([]*ap.BackscatterTarget, 0, len(s.nodes))
 	for _, n := range s.nodes {
@@ -83,9 +87,13 @@ func (s *System) Discover(cfg ScanConfig, seed int64) ([]NodeDetection, error) {
 
 	var all []NodeDetection
 	for deg := cfg.StartDeg; deg <= cfg.StopDeg+1e-9; deg += cfg.StepDeg {
-		s.AP.Steer(rfsim.DegToRad(deg))
-		frames := s.AP.SynthesizeChirpsMulti(c, s.cfg.LocalizationChirps, targets, nil, ns)
-		dets, err := s.AP.DetectTargets(c, frames, cfg.MaxTargetsPerPointing)
+		lease.Steer(rfsim.DegToRad(deg))
+		capt, err := lease.Chirps(capture.Request{Chirp: c, NChirps: s.cfg.LocalizationChirps, Targets: targets})
+		if err != nil {
+			return nil, fmt.Errorf("core: discovery capture: %w", err)
+		}
+		dets, err := s.AP.DetectTargets(c, capt.Frames, cfg.MaxTargetsPerPointing)
+		capt.Release()
 		if err != nil {
 			continue // nothing visible from this pointing
 		}

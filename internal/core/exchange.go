@@ -8,7 +8,6 @@ import (
 	"repro/internal/ap"
 	"repro/internal/fsa"
 	"repro/internal/node"
-	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
 
@@ -55,10 +54,11 @@ func (s *System) Downlink(n *node.Node, orientationDeg float64, payload []byte,
 	if len(payload) == 0 {
 		return DownlinkResult{}, fmt.Errorf("core: empty payload")
 	}
-	s.AP.Steer(n.AzimuthRad())
+	lease := s.capture.Acquire(n.AzimuthRad(), seed)
+	defer lease.Close()
 	n.SetPorts(fsa.Absorptive, fsa.Absorptive)
 	tones := ap.SelectTonePair(n.FSA, orientationDeg)
-	ns := rfsim.NewNoiseSource(seed)
+	ns := lease.Noise
 
 	txPower := s.EffectiveTxPowerW(n)
 	txGain := s.cfg.AP.TxGainDBi
@@ -155,13 +155,14 @@ func (s *System) Uplink(n *node.Node, orientationDeg float64, payload []byte,
 	if len(payload) == 0 {
 		return UplinkResult{}, fmt.Errorf("core: empty payload")
 	}
-	s.AP.Steer(n.AzimuthRad())
+	lease := s.capture.Acquire(n.AzimuthRad(), seed)
+	defer lease.Close()
 	tones := ap.SelectTonePair(n.FSA, orientationDeg)
 	symbolRate := bitRate / float64(tones.BitsPerSymbol())
 	if !n.SwitchA.CanSustainSymbolRate(symbolRate) {
 		return UplinkResult{}, fmt.Errorf("core: %w: switches cannot sustain %g sym/s", ErrRateUnsupported, symbolRate)
 	}
-	ns := rfsim.NewNoiseSource(seed)
+	ns := lease.Noise
 
 	bits := waveform.BytesToBits(payload)
 	dataSyms := tones.EncodeBits(bits)

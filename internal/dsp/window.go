@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // A WindowFunc generates an n-point window. The returned slice is freshly
 // allocated on every call.
@@ -18,6 +21,22 @@ func Rectangular(n int) []float64 {
 // Hann returns the n-point Hann window. For n == 1 the window is {1}.
 func Hann(n int) []float64 {
 	return cosineSum(n, []float64{0.5, 0.5})
+}
+
+// hannCache memoizes Hann windows by length for HannCached. Capture
+// pipelines window every chirp of every burst with the same-length Hann;
+// recomputing (or even reallocating) it per chirp is pure waste.
+var hannCache sync.Map // int -> []float64
+
+// HannCached returns the n-point Hann window from a process-wide cache.
+// The returned slice is shared: callers must treat it as read-only and use
+// ApplyWindow-style element reads, never scale it in place.
+func HannCached(n int) []float64 {
+	if w, ok := hannCache.Load(n); ok {
+		return w.([]float64)
+	}
+	w, _ := hannCache.LoadOrStore(n, Hann(n))
+	return w.([]float64)
 }
 
 // Hamming returns the n-point Hamming window.

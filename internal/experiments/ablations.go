@@ -43,7 +43,10 @@ func AblationBackgroundSubtraction(trials int, seed int64) AblationSubtractionRe
 				return 5
 			},
 		}
-		frames := a.SynthesizeChirps(c, 5, mod, nil, rfsim.NewNoiseSource(seed+int64(i)))
+		frames, err := a.SynthesizeChirps(c, 5, mod, nil, rfsim.NewNoiseSource(seed+int64(i)))
+		if err != nil {
+			panic(err)
+		}
 		if _, err := a.ProcessLocalization(c, frames); err == nil {
 			res.ModulatedDetections++
 		}
@@ -51,7 +54,10 @@ func AblationBackgroundSubtraction(trials int, seed int64) AblationSubtractionRe
 			Pos:     rfsim.Point{X: 4},
 			GainDBi: func(int, float64) float64 { return 25 },
 		}
-		frames = a.SynthesizeChirps(c, 5, static, nil, rfsim.NewNoiseSource(seed+int64(i)))
+		frames, err = a.SynthesizeChirps(c, 5, static, nil, rfsim.NewNoiseSource(seed+int64(i)))
+		if err != nil {
+			panic(err)
+		}
 		if _, err := a.ProcessLocalization(c, frames); err == nil {
 			res.StaticFalseDetections++
 		}

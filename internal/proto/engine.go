@@ -51,6 +51,11 @@ type EngineConfig struct {
 	// QueueDepth is the submission channel buffer (default 64). Submissions
 	// beyond it block until the scheduler drains.
 	QueueDepth int
+	// OnGrant, if set, is invoked on the scheduler goroutine immediately
+	// before a job executes; the release func it returns runs right after.
+	// The network wires it to the capture plane's job lease so capture
+	// buffers a job leaks are reclaimed at the grant boundary.
+	OnGrant func() (release func())
 }
 
 // queueWaitBounds are the upper edges of the queue-wait histogram buckets;
@@ -315,7 +320,14 @@ func (e *Engine) execute(j *job) {
 		return
 	}
 	wait := time.Since(j.enqueued)
+	var release func()
+	if e.cfg.OnGrant != nil {
+		release = e.cfg.OnGrant()
+	}
 	rep, err := j.run(j.ctx)
+	if release != nil {
+		release()
+	}
 	e.mu.Lock()
 	e.noteWaitLocked(wait)
 	if err != nil {

@@ -123,10 +123,14 @@ func (s *Session) RunPacketContext(ctx context.Context, dir waveform.Direction, 
 		return PacketOutcome{}, fmt.Errorf("%w: %w", ErrCancelled, err)
 	}
 	spec := waveform.DefaultPacketSpec(dir, 0)
-	s.sys.AP.Steer(s.node.AzimuthRad())
 
 	// ---- Field 1: direction announcement + node-side orientation ----
-	ns := rfsim.NewNoiseSource(s.nextSeed())
+	// The Field-1 trace is a node-side sampling (no chirp capture at the
+	// AP), but it still flows through the capture plane: the lease steers
+	// the horns at the node and owns the phase's noise stream.
+	lease := s.sys.Capture().Acquire(s.node.AzimuthRad(), s.nextSeed())
+	defer lease.Close()
+	ns := lease.Noise
 	apCfg := s.sys.Config().AP
 	trace := s.node.Field1Trace(spec, s.sys.EffectiveTxPowerW(s.node), apCfg.TxGainDBi, ns)
 	chirpSamples := spec.OrientationChirp.SampleCount(s.node.Config().ADCSampleRateHz)
@@ -240,10 +244,17 @@ func NewNetworkSeeded(sys *core.System, baseSeed int64, jobTimeout time.Duration
 // System returns the underlying system.
 func (n *Network) System() *core.System { return n.sys }
 
-// engine lazily starts the airtime scheduler.
+// engine lazily starts the airtime scheduler. Each granted job is
+// bracketed by a capture-plane job lease, so any capture buffers a job
+// leaks are reclaimed when its airtime grant ends.
 func (n *Network) engine() *Engine {
 	n.engOnce.Do(func() {
-		n.eng = NewEngine(EngineConfig{JobTimeout: n.jobTimeout})
+		n.eng = NewEngine(EngineConfig{
+			JobTimeout: n.jobTimeout,
+			OnGrant: func() func() {
+				return n.sys.Capture().BeginJob().End
+			},
+		})
 	})
 	return n.eng
 }

@@ -1,0 +1,45 @@
+package rfsim
+
+import "testing"
+
+func TestSceneGenerationBumpsOnEveryMutator(t *testing.T) {
+	s := DefaultIndoorScene()
+	gen := s.Generation()
+	step := func(name string, mutate func()) {
+		t.Helper()
+		mutate()
+		if got := s.Generation(); got != gen+1 {
+			t.Fatalf("%s: generation %d, want %d", name, got, gen+1)
+		}
+		gen++
+	}
+	step("AddReflector", func() { s.AddReflector(Reflector{Name: "cart", Position: Point{X: 2, Y: 1}, RCS: 0.5}) })
+	step("RemoveReflector", func() {
+		if !s.RemoveReflector("cart") {
+			t.Fatal("reflector not found")
+		}
+	})
+	step("AddObstruction", func() {
+		s.AddObstruction(Obstruction{Name: "body", A: Point{X: 1}, B: Point{X: 1, Y: 2}, LossDB: 30})
+	})
+	step("RemoveObstruction", func() {
+		if !s.RemoveObstruction("body") {
+			t.Fatal("obstruction not found")
+		}
+	})
+	step("Invalidate", s.Invalidate)
+}
+
+func TestSceneGenerationUnchangedOnMisses(t *testing.T) {
+	s := DefaultIndoorScene()
+	gen := s.Generation()
+	if s.RemoveReflector("no-such-reflector") {
+		t.Fatal("unexpected removal")
+	}
+	if s.RemoveObstruction("no-such-obstruction") {
+		t.Fatal("unexpected removal")
+	}
+	if got := s.Generation(); got != gen {
+		t.Fatalf("failed removals bumped generation: %d -> %d", gen, got)
+	}
+}

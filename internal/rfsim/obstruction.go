@@ -22,6 +22,7 @@ func (s *Scene) AddObstruction(o Obstruction) {
 		panic(fmt.Sprintf("rfsim: obstruction loss must be positive, got %g", o.LossDB))
 	}
 	s.Obstructions = append(s.Obstructions, o)
+	s.gen.Add(1)
 }
 
 // RemoveObstruction deletes the first obstruction with the given name,
@@ -30,6 +31,7 @@ func (s *Scene) RemoveObstruction(name string) bool {
 	for i, o := range s.Obstructions {
 		if o.Name == name {
 			s.Obstructions = append(s.Obstructions[:i], s.Obstructions[i+1:]...)
+			s.gen.Add(1)
 			return true
 		}
 	}

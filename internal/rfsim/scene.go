@@ -3,6 +3,7 @@ package rfsim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Reflector is a static clutter object in the environment — a wall, desk, or
@@ -19,9 +20,50 @@ type Reflector struct {
 
 // Scene is the simulated indoor environment: a set of static reflectors
 // plus any blocking obstructions (see Obstruction).
+//
+// Mutate a live scene only through AddReflector/RemoveReflector,
+// AddObstruction/RemoveObstruction (or call Invalidate after touching the
+// slices directly): each mutation bumps the scene generation, which is how
+// downstream geometry caches (the AP's clutter-path cache) know their
+// entries are stale.
 type Scene struct {
 	Reflectors   []Reflector
 	Obstructions []Obstruction
+
+	// gen counts mutations. Loaded atomically so cache reads on capture
+	// paths never need the mutator's lock; the airtime scheduler already
+	// serializes mutation against captures.
+	gen atomic.Uint64
+}
+
+// Generation returns the scene's mutation counter. Two calls returning the
+// same value bracket a window in which derived geometry (clutter paths) is
+// still valid.
+func (s *Scene) Generation() uint64 { return s.gen.Load() }
+
+// Invalidate bumps the scene generation without changing contents, forcing
+// downstream caches to re-derive geometry. Call it after mutating the
+// Reflectors or Obstructions slices directly.
+func (s *Scene) Invalidate() { s.gen.Add(1) }
+
+// AddReflector appends a clutter reflector to the scene and invalidates
+// cached geometry.
+func (s *Scene) AddReflector(r Reflector) {
+	s.Reflectors = append(s.Reflectors, r)
+	s.gen.Add(1)
+}
+
+// RemoveReflector deletes the first reflector with the given name,
+// reporting whether one was found.
+func (s *Scene) RemoveReflector(name string) bool {
+	for i, r := range s.Reflectors {
+		if r.Name == name {
+			s.Reflectors = append(s.Reflectors[:i], s.Reflectors[i+1:]...)
+			s.gen.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // DefaultIndoorScene reproduces the evaluation environment of §9: "an indoor

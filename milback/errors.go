@@ -15,9 +15,11 @@ import (
 // the chain's context (which phase failed, at what rate) is preserved in
 // the message while the sentinel stays matchable.
 var (
-	// ErrInvalidConfig reports a rejected network construction: a nil
-	// scene, or a core.Config the system cannot operate with.
-	ErrInvalidConfig = errors.New("milback: invalid configuration")
+	// ErrInvalidConfig reports a rejected configuration: a nil scene or a
+	// core.Config the system cannot operate with at construction, and —
+	// re-exported from the capture layer — an invalid chirp program or
+	// chirp count reaching a capture at runtime.
+	ErrInvalidConfig error = ap.ErrInvalidConfig
 
 	// ErrInvalidCoordinate reports NaN or ±Inf coordinates or orientations
 	// passed to Join or Move — caught at the facade so non-finite values

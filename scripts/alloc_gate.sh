@@ -1,0 +1,35 @@
+#!/bin/sh
+# Allocation gate for the capture plane (PR 3): the pooled + clutter-cached
+# steady-state localization pipeline must allocate at most half of what the
+# allocate-everything reference does per op. Run from the repository root:
+#
+#	./scripts/alloc_gate.sh [benchtime]
+set -eu
+
+BENCHTIME="${1:-20x}"
+
+out="$(go test -run '^$' -bench 'CaptureSteadyState' -benchtime "$BENCHTIME" -benchmem .)"
+echo "$out"
+
+echo "$out" | awk '
+	/^BenchmarkCaptureSteadyState/ {
+		name = $1
+		allocs = ""
+		for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
+		if (allocs == "") { print "alloc gate: no allocs/op for " name; exit 1 }
+		if (name ~ /NoPool/) ref = allocs
+		else pooled = allocs
+	}
+	END {
+		if (pooled == "" || ref == "") {
+			print "alloc gate: missing benchmark output (pooled=" pooled ", ref=" ref ")"
+			exit 1
+		}
+		printf "alloc gate: pooled %d allocs/op vs reference %d allocs/op (%.0f%% reduction)\n",
+			pooled, ref, (1 - pooled / ref) * 100
+		if (pooled * 2 > ref) {
+			print "alloc gate FAILED: pooled path must allocate <= 50% of the reference"
+			exit 1
+		}
+		print "alloc gate OK"
+	}'

@@ -1,21 +1,25 @@
 #!/bin/sh
-# Regenerates BENCH_seed.json: the committed baseline for the plan-cached
-# FFT vs the seed per-call implementation, and the serial vs parallel §5.1
-# capture pipeline. Run from the repository root:
+# Regenerates a committed benchmark baseline: ns/op and (with -benchmem)
+# B/op + allocs/op for the hot pipelines — plan-cached FFT vs the seed
+# per-call implementation, the serial vs parallel §5.1 capture pipeline,
+# and the PR 3 pooled capture plane vs its allocate-everything reference.
+# Run from the repository root:
 #
-#	./scripts/bench_baseline.sh [benchtime]
+#	./scripts/bench_baseline.sh [benchtime] [outfile]
 #
-# The JSON records ns/op per benchmark plus the machine context needed to
-# interpret it (CPU count matters: on a single-core box the parallel capture
-# degenerates to the serial path by design).
+# outfile defaults to BENCH_seed.json (the original seed baseline); pass
+# BENCH_pr3.json to record a PR snapshot without disturbing the seed file.
+# The JSON records the machine context needed to interpret the numbers
+# (CPU count matters: on a single-core box the parallel capture degenerates
+# to the serial path by design).
 set -eu
 
 BENCHTIME="${1:-300ms}"
-OUT="BENCH_seed.json"
+OUT="${2:-BENCH_seed.json}"
 
 go test -run '^$' \
-	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial|CaptureParallel|NetworkThroughput' \
-	-benchtime "$BENCHTIME" . |
+	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState' \
+	-benchtime "$BENCHTIME" -benchmem . |
 	awk -v benchtime="$BENCHTIME" '
 	/^goos:/ { goos = $2 }
 	/^goarch:/ { goarch = $2 }
@@ -23,7 +27,18 @@ go test -run '^$' \
 	/^Benchmark/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
-		vals[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", name, $2, $3)
+		# Scan value/unit pairs rather than fixed columns: -benchmem and
+		# ReportMetric both insert fields, so position is not stable.
+		ns = ""; bytes = ""; allocs = ""
+		for (i = 3; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "B/op") bytes = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+		}
+		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns)
+		if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+		vals[++n] = line "}"
 	}
 	END {
 		printf "{\n"
