@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline
+.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline docs-check
 
-verify: lint build race determinism alloc-gate bench
+verify: lint docs-check build race determinism alloc-gate bench
 
 # lint is the static gate: vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -37,6 +37,17 @@ race:
 # scheduler or pooling change that stays race-free but breaks determinism.
 determinism:
 	$(GO) test -run Determinis -race ./...
+
+# Documentation gate: every exported identifier in the public facade and
+# the internal packages must carry godoc, and the top-level docs' relative
+# links must resolve. (gofmt/vet cleanliness is covered by lint.)
+docs-check:
+	$(GO) run ./scripts/docscheck milback internal/obs internal/ap \
+		internal/capture internal/core internal/proto internal/dsp \
+		internal/fsa internal/node internal/parallel internal/rfsim \
+		internal/track internal/waveform internal/ber internal/baseline \
+		internal/experiments
+	./scripts/md_link_check.sh README.md DESIGN.md ROADMAP.md EXPERIMENTS.md
 
 # Pooled capture plane must allocate <= 50% of the NoPool reference per
 # steady-state localization (compare against the committed BENCH_seed.json

@@ -9,6 +9,10 @@
 //
 //	-seed N   base random seed (default 1)
 //	-quick    reduced trial counts
+//
+// With -trace FILE the command instead summarizes a pipeline-stage trace
+// written by milback-sim -trace (or milback.Network.WriteTrace): a markdown
+// table of span counts and durations per stage, no experiments run.
 package main
 
 import (
@@ -16,10 +20,12 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 type claim struct {
@@ -128,10 +134,67 @@ func claims() []claim {
 	}
 }
 
+// summarizeTrace prints a markdown table aggregating a JSON Lines trace by
+// span name: count, total and mean duration, and the slowest single span.
+func summarizeTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	type agg struct {
+		count       int
+		totalNS     int64
+		maxNS       int64
+		first, last int64
+	}
+	byName := make(map[string]*agg)
+	for _, s := range spans {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{first: s.StartNS, last: s.StartNS}
+			byName[s.Name] = a
+		}
+		a.count++
+		a.totalNS += s.DurNS
+		a.maxNS = max(a.maxNS, s.DurNS)
+		a.first = min(a.first, s.StartNS)
+		a.last = max(a.last, s.StartNS+s.DurNS)
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("# Trace summary: %s\n\n%d spans, %d stages.\n\n", path, len(spans), len(names))
+	fmt.Println("| Stage | Spans | Total | Mean | Max |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, name := range names {
+		a := byName[name]
+		mean := time.Duration(a.totalNS / int64(a.count))
+		fmt.Printf("| %s | %d | %s | %s | %s |\n", name, a.count,
+			time.Duration(a.totalNS), mean, time.Duration(a.maxNS))
+	}
+	return nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	quick := flag.Bool("quick", false, "reduced trial counts")
+	tracePath := flag.String("trace", "", "summarize a JSON Lines trace file instead of running experiments")
 	flag.Parse()
+
+	if *tracePath != "" {
+		if err := summarizeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "milback-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("# MilBack reproduction report")
 	fmt.Println()

@@ -12,6 +12,11 @@
 //	-rate         uplink bit rate (downlink runs at 36 Mbps)
 //	-seed         random seed
 //	-anechoic     remove the indoor clutter
+//	-debug-addr   serve /debug/vars and /debug/pprof on this address
+//	-trace        write the pipeline-stage trace (JSON Lines) to this file
+//
+// The diagnostics flags write only to stderr and to their own outputs, so
+// stdout stays byte-identical for a fixed seed whether or not they are set.
 package main
 
 import (
@@ -31,17 +36,28 @@ func main() {
 	rate := flag.Float64("rate", milback.Rate10Mbps, "uplink bit rate (bits/s)")
 	seed := flag.Int64("seed", 1, "random seed")
 	anechoic := flag.Bool("anechoic", false, "remove indoor clutter")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	tracePath := flag.String("trace", "", "write the pipeline-stage trace as JSON Lines to this file")
 	flag.Parse()
 
 	opts := []milback.Option{milback.WithSeed(*seed)}
 	if *anechoic {
 		opts = append(opts, milback.WithEmptyScene())
 	}
+	if *debugAddr != "" {
+		opts = append(opts, milback.WithDebugServer(*debugAddr))
+	}
 	net, err := milback.NewNetwork(opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer net.Close()
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "milback-sim: debug server on http://%s/debug/vars\n", net.DebugAddr())
+	}
+	if *tracePath != "" {
+		defer writeTrace(net, *tracePath)
+	}
 	node, err := net.Join(*x, *y, *orient)
 	if err != nil {
 		fatal(err)
@@ -97,4 +113,18 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "milback-sim:", err)
 	os.Exit(1)
+}
+
+// writeTrace dumps the network's retained spans to path. Runs as a deferred
+// cleanup, so failures warn on stderr rather than aborting.
+func writeTrace(net *milback.Network, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "milback-sim: trace:", err)
+		return
+	}
+	defer f.Close()
+	if err := net.WriteTrace(f); err != nil {
+		fmt.Fprintln(os.Stderr, "milback-sim: trace:", err)
+	}
 }

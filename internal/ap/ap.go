@@ -1,14 +1,3 @@
-// Package ap implements MilBack's access point (paper Fig 7 and §8): an
-// FMCW transmitter for localization and orientation sensing, a two-antenna
-// receive array for angle-of-arrival, and the two-tone OAQFM transceiver
-// for uplink and downlink communication.
-//
-// The paper builds the AP from a Keysight VXG waveform generator, an
-// ADPA7005 PA, 20 dBi horns, ADL8142 LNAs, ZMDB-44H-K+ mixers, ZFHP-*
-// high-pass filters and an oscilloscope; here the whole receive chain is
-// simulated (DESIGN.md §1). FMCW processing happens in the dechirped (beat)
-// domain, which is mathematically identical to mixing the received chirp
-// against the transmitted one.
 package ap
 
 import (
@@ -16,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -143,6 +133,24 @@ type AP struct {
 	clutterMu    sync.Mutex
 	clutterOff   bool
 	clutterCache map[clutterKey][]rfsim.Path
+
+	// obs holds the AP's resolved stage instruments; nil (the default)
+	// means unobserved and the pipelines skip even the clock reads.
+	obs *apObs
+}
+
+// apObs is the AP's per-stage instrumentation, resolved once by
+// SetObserver: wall-clock histograms for the three pipeline stages
+// (synthesis, windowed range FFTs, post-FFT detection), clutter-cache
+// effectiveness counters, and an optional tracer for per-stage spans.
+type apObs struct {
+	synthesize   *obs.Histogram
+	fft          *obs.Histogram
+	detect       *obs.Histogram
+	clutterHits  *obs.Counter
+	clutterMiss  *obs.Counter
+	clutterInval *obs.Counter
+	tracer       *obs.Tracer
 }
 
 // clutterKey identifies one clutter derivation. Pointing matters because
@@ -212,6 +220,27 @@ func (a *AP) Pointing() float64 { return a.tx.PointingRad }
 // pipelines draw frame and spectrum buffers from.
 func (a *AP) SetBufferPool(p BufferPool) { a.pool = p }
 
+// SetObserver wires the AP's per-stage timing histograms and clutter-cache
+// counters into reg, and (if tr is non-nil) records one span per pipeline
+// stage. A nil reg turns instrumentation off again. Recording is
+// allocation-free and touches no simulation state, so results are
+// bit-identical with or without an observer.
+func (a *AP) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil {
+		a.obs = nil
+		return
+	}
+	a.obs = &apObs{
+		synthesize:   reg.Histogram(obs.MetricSynthesizeSeconds, obs.DurationBuckets()),
+		fft:          reg.Histogram(obs.MetricFFTSeconds, obs.DurationBuckets()),
+		detect:       reg.Histogram(obs.MetricDetectSeconds, obs.DurationBuckets()),
+		clutterHits:  reg.Counter(obs.MetricClutterHits),
+		clutterMiss:  reg.Counter(obs.MetricClutterMisses),
+		clutterInval: reg.Counter(obs.MetricClutterInvalidations),
+		tracer:       tr,
+	}
+}
+
 // SetClutterCacheEnabled toggles the clutter-path cache (enabled by
 // default). Disabling it restores derive-per-capture behavior for
 // differential testing.
@@ -235,9 +264,15 @@ func (a *AP) clutterPaths(fc float64) []rfsim.Path {
 	}
 	if paths, ok := a.clutterCache[key]; ok {
 		a.clutterMu.Unlock()
+		if o := a.obs; o != nil {
+			o.clutterHits.Inc()
+		}
 		return paths
 	}
 	a.clutterMu.Unlock()
+	if o := a.obs; o != nil {
+		o.clutterMiss.Inc()
+	}
 	paths := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
 	a.clutterMu.Lock()
 	if !a.clutterOff {
@@ -247,6 +282,13 @@ func (a *AP) clutterPaths(fc float64) []rfsim.Path {
 				stale = true
 			}
 			break
+		}
+		if stale {
+			// A scene-generation change or overflow drops every retained
+			// entry; count the reset as one invalidation.
+			if o := a.obs; o != nil {
+				o.clutterInval.Inc()
+			}
 		}
 		if stale || a.clutterCache == nil {
 			a.clutterCache = make(map[clutterKey][]rfsim.Path)

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
@@ -90,6 +92,13 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 	}
 	if nChirps < 1 {
 		return nil, fmt.Errorf("ap: %w: need at least one chirp, got %d", ErrInvalidConfig, nChirps)
+	}
+	if o := a.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			o.synthesize.Observe(time.Since(start).Seconds())
+			o.tracer.Record(obs.SpanSynthesize, start, int64(nChirps))
+		}()
 	}
 	fs := a.cfg.BeatSampleRateHz
 	nSamp := c.SampleCount(fs)
@@ -258,6 +267,13 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 	if len(frames) < 2 {
 		return nil, fmt.Errorf("ap: background subtraction needs >= 2 chirps, got %d", len(frames))
 	}
+	if o := a.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			o.fft.Observe(time.Since(start).Seconds())
+			o.tracer.Record(obs.SpanFFT, start, int64(len(frames)))
+		}()
+	}
 	nfft := a.cfg.FFTSize
 	// Validate every frame up front so the fan-out below is infallible. A
 	// frame longer than the FFT would previously be truncated silently,
@@ -371,6 +387,15 @@ func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (Localiz
 		return LocalizationResult{}, err
 	}
 	defer a.releaseDiffs(diffs)
+	// The detect stage is everything after the spectra: peak search,
+	// interpolation, range/angle recovery.
+	if o := a.obs; o != nil {
+		start := time.Now()
+		defer func() {
+			o.detect.Observe(time.Since(start).Seconds())
+			o.tracer.Record(obs.SpanDetect, start, int64(len(frames)))
+		}()
+	}
 	nfft := a.cfg.FFTSize
 	fs := a.cfg.BeatSampleRateHz
 	// Accumulate |D|² over subtraction pairs on antenna 0; positive beat

@@ -1,10 +1,3 @@
-// Package baseline captures the state-of-the-art mmWave backscatter systems
-// MilBack is compared against (paper Table 1 and §9.6): mmTag (SIGCOMM'21),
-// Millimetro (MobiCom'21) and OmniScatter (MobiSys'22). The comparison in
-// the paper is a capability matrix plus energy-per-bit figures taken from
-// the systems' publications, so the baseline "implementation" is those
-// published characteristics made queryable, plus a shared energy-efficiency
-// computation.
 package baseline
 
 import (

@@ -1,0 +1,13 @@
+// Package baseline captures the state-of-the-art mmWave backscatter systems
+// MilBack is compared against (paper Table 1 and §9.6): mmTag (SIGCOMM'21),
+// Millimetro (MobiCom'21) and OmniScatter (MobiSys'22). The comparison in
+// the paper is a capability matrix plus energy-per-bit figures taken from
+// the systems' publications, so the baseline "implementation" is those
+// published characteristics made queryable, plus a shared energy-efficiency
+// computation.
+//
+// # Paper map
+//
+//   - Table 1 capability matrix — Table1, OnlyFullFeatured.
+//   - §9.6 energy comparison — the per-system energy-per-bit figures.
+package baseline

@@ -1,18 +1,3 @@
-// Package ber provides bit-error-rate theory for MilBack's OAQFM links and
-// a Monte-Carlo measurement harness.
-//
-// Each OAQFM tone is an independently on-off-keyed (OOK) channel detected
-// non-coherently (envelope detector at the node, magnitude correlation at
-// the AP). The classic high-SNR approximation for non-coherent OOK with an
-// optimal threshold is
-//
-//	Pb ≈ ½·exp(−γ_eff/4)
-//
-// where γ_eff is the post-detection SNR: the channel SNR times the
-// receiver's per-symbol integration (processing) gain. Calibrating the
-// processing gain at 6.5 dB reproduces both anchor points the paper
-// reports: 12 dB SINR ↦ BER < 1e-8 on the downlink (Fig 14) and the
-// SNR↦BER call-outs of the uplink plots (Fig 15), see EXPERIMENTS.md.
 package ber
 
 import (

@@ -1,46 +1,27 @@
-// Package capture is MilBack's capture plane: the one code path every
-// over-the-air operation flows through. Each of the paper's primitives —
-// §5.1 localization, §5.2 orientation sensing (both sides), Doppler
-// velocity, and §6 OAQFM communication — is the same ritual of "steer the
-// horns, draw this capture's hardware imperfections, synthesize or sample
-// the waveform, process, release the buffers". Before this package existed
-// that ritual was hand-rolled per pipeline in internal/core; now a Plane
-// owns it once and the pipelines only differ in what they do with the
-// captured frames.
-//
-// # Lifecycle
-//
-// An operation opens a Lease with Plane.Acquire, which steers the AP and
-// seeds the operation's deterministic noise source. Chirp-burst captures
-// come from Lease.Chirps; each returns a Capture whose frames live in
-// pooled buffers. Ownership rules:
-//
-//   - The caller owns a Capture's frames until it calls Release; after
-//     Release the frame buffers belong to the pool and must not be read
-//     (Release nils the Rx slices so stale reads fail loudly as
-//     empty-frame errors rather than silently reading recycled data).
-//   - Release is idempotent; Lease.Close releases every capture the lease
-//     still holds, so `defer lease.Close()` is sufficient cleanup even on
-//     error paths.
-//   - When the airtime scheduler runs the operation, the enclosing
-//     JobLease (opened by the engine's grant hook) closes any lease the
-//     job leaked, making buffer lifetime coincide with the airtime grant.
-//
-// The pooled path is bit-identical to the allocate-per-capture path: pool
-// buffers are zeroed on Get and the synthesis math is unchanged. NoPool
-// and NoCache build a reference Plane for differential tests.
 package capture
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/ap"
+	"repro/internal/obs"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
 
 // Option configures a Plane.
 type Option func(*Plane)
+
+// WithObserver wires the plane's lease-lifecycle and pool-recycling
+// counters into reg and (if tr is non-nil) records one obs.SpanLease span
+// per closed lease. Without this option the plane records nothing.
+func WithObserver(reg *obs.Registry, tr *obs.Tracer) Option {
+	return func(p *Plane) {
+		p.reg = reg
+		p.tracer = tr
+	}
+}
 
 // NoPool disables buffer pooling: every capture allocates fresh frames and
 // spectra. This is the reference mode the differential tests compare the
@@ -63,8 +44,26 @@ type Plane struct {
 	pool    *Pool
 	noCache bool
 
+	// Observability wiring (set by WithObserver, resolved once in
+	// NewPlane). obs is nil when unobserved; every instrument call is
+	// nil-safe, so the hot path needs no flag checks beyond that pointer.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	obs    *planeObs
+
 	mu  sync.Mutex
 	job *JobLease
+}
+
+// planeObs holds the plane's resolved instruments: lease lifetimes (the
+// span from Acquire to Close, i.e. how long an operation holds capture
+// buffers), the open/close/reclaim lease counters, and a capture counter.
+type planeObs struct {
+	leaseSeconds    *obs.Histogram
+	leasesOpened    *obs.Counter
+	leasesClosed    *obs.Counter
+	leasesReclaimed *obs.Counter
+	captures        *obs.Counter
 }
 
 // NewPlane builds the capture plane for an AP, wiring the buffer pool into
@@ -73,6 +72,16 @@ func NewPlane(a *ap.AP, opts ...Option) *Plane {
 	p := &Plane{ap: a, pool: NewPool()}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.reg != nil {
+		p.obs = &planeObs{
+			leaseSeconds:    p.reg.Histogram(obs.MetricLeaseSeconds, obs.DurationBuckets()),
+			leasesOpened:    p.reg.Counter(obs.MetricLeasesOpened),
+			leasesClosed:    p.reg.Counter(obs.MetricLeasesClosed),
+			leasesReclaimed: p.reg.Counter(obs.MetricLeasesReclaimed),
+			captures:        p.reg.Counter(obs.MetricCapturesAcquired),
+		}
+		p.pool.Observe(p.reg)
 	}
 	a.SetBufferPool(bufferPool(p.pool))
 	a.SetClutterCacheEnabled(!p.noCache)
@@ -146,6 +155,7 @@ type Lease struct {
 	job      *JobLease
 	captures []*Capture
 	closed   bool
+	start    time.Time // lease-lifetime clock; zero when unobserved
 }
 
 // Acquire steers the AP at the given azimuth and opens a lease whose noise
@@ -153,6 +163,10 @@ type Lease struct {
 func (p *Plane) Acquire(steerRad float64, seed int64) *Lease {
 	p.ap.Steer(steerRad)
 	l := &Lease{plane: p, Noise: rfsim.NewNoiseSource(seed)}
+	if o := p.obs; o != nil {
+		o.leasesOpened.Inc()
+		l.start = time.Now()
+	}
 	p.mu.Lock()
 	if p.job != nil {
 		l.job = p.job
@@ -175,6 +189,9 @@ func (l *Lease) Chirps(req Request) (*Capture, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o := l.plane.obs; o != nil {
+		o.captures.Inc()
+	}
 	c := &Capture{Frames: frames, pool: l.plane.pool}
 	l.captures = append(l.captures, c)
 	return c, nil
@@ -187,6 +204,11 @@ func (l *Lease) Close() {
 		return
 	}
 	l.closed = true
+	if o := l.plane.obs; o != nil {
+		o.leasesClosed.Inc()
+		o.leaseSeconds.Observe(time.Since(l.start).Seconds())
+		l.plane.tracer.Record(obs.SpanLease, l.start, int64(len(l.captures)))
+	}
 	for _, c := range l.captures {
 		c.Release()
 	}
@@ -246,7 +268,12 @@ func (j *JobLease) End() {
 	j.plane.mu.Unlock()
 	for _, l := range open {
 		// Detach before Close so Close's unregister pass doesn't walk the
-		// cleared list.
+		// cleared list. A lease still open at the grant boundary is a leak
+		// the job failed to clean up; count the reclaim (Close below also
+		// counts it as closed — reclaimed is the "of which leaked" subset).
+		if o := j.plane.obs; o != nil && !l.closed {
+			o.leasesReclaimed.Inc()
+		}
 		l.job = nil
 		l.Close()
 	}

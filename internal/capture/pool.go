@@ -1,6 +1,10 @@
 package capture
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Pool recycles the complex-sample buffers that dominate a capture's
 // allocations: chirp-frame baseband buffers (one per receive antenna per
@@ -25,6 +29,12 @@ import "sync"
 type Pool struct {
 	mu      sync.Mutex
 	classes map[int][][]complex128
+
+	// Recycling counters (nil when the plane is not observed; all obs
+	// instruments are nil-safe). hits/misses split Gets by whether a
+	// recycled buffer was available; puts/drops split releases by whether
+	// the class had room.
+	hits, misses, puts, drops *obs.Counter
 }
 
 // classCap bounds retained buffers per size class. The steady-state
@@ -34,6 +44,18 @@ const classCap = 256
 
 // NewPool returns an empty pool.
 func NewPool() *Pool { return &Pool{classes: make(map[int][][]complex128)} }
+
+// Observe wires the pool's recycling counters into a registry. Safe on a
+// nil pool (the NoPool reference mode records nothing).
+func (p *Pool) Observe(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	p.hits = reg.Counter(obs.MetricPoolHits)
+	p.misses = reg.Counter(obs.MetricPoolMisses)
+	p.puts = reg.Counter(obs.MetricPoolPuts)
+	p.drops = reg.Counter(obs.MetricPoolDrops)
+}
 
 // GetComplex returns a zeroed []complex128 of length n, recycled when a
 // buffer of that exact class is available.
@@ -48,10 +70,12 @@ func (p *Pool) GetComplex(n int) []complex128 {
 		free[len(free)-1] = nil
 		p.classes[n] = free[:len(free)-1]
 		p.mu.Unlock()
+		p.hits.Inc()
 		clear(buf)
 		return buf
 	}
 	p.mu.Unlock()
+	p.misses.Inc()
 	return make([]complex128, n)
 }
 
@@ -63,8 +87,15 @@ func (p *Pool) PutComplex(buf []complex128) {
 	}
 	buf = buf[:cap(buf)]
 	p.mu.Lock()
+	kept := false
 	if free := p.classes[len(buf)]; len(free) < classCap {
 		p.classes[len(buf)] = append(free, buf)
+		kept = true
 	}
 	p.mu.Unlock()
+	if kept {
+		p.puts.Inc()
+	} else {
+		p.drops.Inc()
+	}
 }

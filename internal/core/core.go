@@ -1,15 +1,3 @@
-// Package core is the MilBack system engine — the paper's primary
-// contribution assembled from its substrates: it wires a simulated AP
-// (internal/ap), backscatter nodes (internal/node), the RF channel
-// (internal/rfsim) and the waveforms (internal/waveform) into the complete
-// pipelines of the paper:
-//
-//   - Localization (§5.1): FMCW + node switching + background subtraction.
-//   - Orientation at the AP (§5.2a): reflected-power-vs-frequency profiling,
-//     including the ground-plane mirror-reflection artifact of Fig 13b.
-//   - Orientation at the node (§5.2b): triangular-chirp peak separation.
-//   - Two-way OAQFM communication (§6) with orientation-derived tone pairs.
-//   - The joint protocol (§7) is layered on top by internal/proto.
 package core
 
 import (
@@ -20,6 +8,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/fsa"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/rfsim"
 )
 
@@ -62,6 +51,12 @@ type Config struct {
 	// bit-identical either way.
 	DisableCapturePool  bool
 	DisableClutterCache bool
+	// DisableObservability turns off the stage-timing histograms, capture
+	// counters and span tracer. Instrumentation never touches the noise
+	// streams, so results are bit-identical either way; the switch exists for
+	// the differential tests that prove exactly that, and for callers that
+	// want zero clock reads on the hot path.
+	DisableObservability bool
 }
 
 // DefaultConfig returns the §8 prototype configuration.
@@ -87,6 +82,8 @@ type System struct {
 	cfg     Config
 	nodes   []*node.Node
 	capture *capture.Plane
+	reg     *obs.Registry
+	tracer  *obs.Tracer
 }
 
 // NewSystem builds a system operating in the given scene (nil = no clutter).
@@ -111,6 +108,7 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	s := &System{AP: a, cfg: cfg}
 	var opts []capture.Option
 	if cfg.DisableCapturePool {
 		opts = append(opts, capture.NoPool())
@@ -118,7 +116,14 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	if cfg.DisableClutterCache {
 		opts = append(opts, capture.NoCache())
 	}
-	return &System{AP: a, cfg: cfg, capture: capture.NewPlane(a, opts...)}, nil
+	if !cfg.DisableObservability {
+		s.reg = obs.NewRegistry()
+		s.tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+		opts = append(opts, capture.WithObserver(s.reg, s.tracer))
+		a.SetObserver(s.reg, s.tracer)
+	}
+	s.capture = capture.NewPlane(a, opts...)
+	return s, nil
 }
 
 // MustNewSystem is NewSystem for known-good configs.
@@ -138,6 +143,16 @@ func (s *System) Config() Config { return s.cfg }
 // through. The scheduler engine brackets each airtime grant with its
 // BeginJob/End so leaked capture buffers are reclaimed per job.
 func (s *System) Capture() *capture.Plane { return s.capture }
+
+// Obs returns the system's metric registry, or nil when observability is
+// disabled. The scheduler engine shares this registry so queue-wait and
+// job-outcome metrics land next to the capture and pipeline metrics.
+func (s *System) Obs() *obs.Registry { return s.reg }
+
+// Tracer returns the system's span tracer (a bounded ring of recent
+// pipeline-stage, lease and job spans), or nil when observability is
+// disabled.
+func (s *System) Tracer() *obs.Tracer { return s.tracer }
 
 // AddNode places a new node at the given position (meters, AP at origin)
 // and orientation (degrees) and registers it with the system.

@@ -1,11 +1,3 @@
-// Package dsp provides the digital signal processing substrate used by the
-// MilBack simulator: FFT/IFFT, window functions, FIR filter design and
-// application, envelope extraction, peak search with sub-bin interpolation,
-// and basic statistics.
-//
-// Everything is implemented from scratch on top of the standard library so
-// the module has no external dependencies. Signals are represented as
-// []complex128 (complex baseband) or []float64 (real-valued envelopes).
 package dsp
 
 import (

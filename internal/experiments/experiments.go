@@ -1,9 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (§9). Each experiment is a pure function of its parameters and
-// a base seed, returning the same rows/series the paper plots; the
-// cmd/milback-experiments binary prints them and bench_test.go wraps each
-// one in a benchmark. The per-experiment index lives in DESIGN.md §3 and the
-// paper-vs-measured record in EXPERIMENTS.md.
 package experiments
 
 import (

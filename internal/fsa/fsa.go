@@ -1,20 +1,3 @@
-// Package fsa models MilBack's dual-port Frequency Scanning Antenna.
-//
-// An FSA is a passive series-fed array whose beam direction is a function of
-// the signal frequency (paper Fig 1). MilBack extends the single-port FSA of
-// prior work with a second port on the opposite end of the feed line, giving
-// two sets of beams whose frequency assignments are mirrors of each other
-// (Fig 3): at frequency f, port A's beam points at angle θ(f) while port B's
-// beam points at −θ(f). Each port terminates in an SPDT switch that selects
-// reflective mode (short to ground: incident energy within the beam is
-// re-radiated back to its arrival direction) or absorptive mode (matched
-// envelope detector: energy is delivered to the port, reflection ≈ 0).
-//
-// The paper's FSA was designed in ANSYS HFSS and fabricated on Rogers
-// substrate; this package is the analytic substitution (DESIGN.md §1):
-// a uniform-array factor around a linear frequency→angle map covering 60°
-// of scan over the 26.5–29.5 GHz band with ≈10° beamwidth and 12.5 dBi
-// peak gain, matching the measured pattern of Fig 10.
 package fsa
 
 import (

@@ -1,14 +1,3 @@
-// Package node implements MilBack's backscatter node (paper Fig 4): a
-// dual-port FSA whose ports run through SPDT switches into envelope
-// detectors, read by a low-power micro-controller that also drives the
-// switches. The node has no mmWave actives — no amplifier, mixer,
-// oscillator, or phased array — which is what keeps it at 18–32 mW.
-//
-// The hardware parts substituted here (DESIGN.md §1): the ADL6010 envelope
-// detector becomes a linear-responding detector with finite video bandwidth
-// and output noise; the ADRF5020 SPDT switch becomes a state machine with a
-// maximum toggle rate and per-transition energy; the MSP430's ADC becomes a
-// 1 MHz sampler with quantization.
 package node
 
 import (

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is an opt-in HTTP endpoint exposing a Registry alongside the
+// process's expvar and pprof data:
+//
+//	/debug/vars   — the standard expvar set (cmdline, memstats, …) plus a
+//	                "milback" member holding the registry Snapshot
+//	/debug/pprof/ — the full net/http/pprof suite (profile, heap, trace, …)
+//
+// It runs on its own mux so nothing is registered on
+// http.DefaultServeMux, and on its own listener so ":0" picks a free port
+// (Addr reports the bound address). Close shuts it down.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer binds addr (host:port; ":0" for an ephemeral port) and
+// serves the debug endpoints for reg in a background goroutine.
+func StartDebugServer(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		serveVars(w, reg)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &DebugServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() {
+		// ErrServerClosed (and the listener-closed error) are the normal
+		// shutdown path; the server has nowhere useful to report others.
+		_ = ds.srv.Serve(ln)
+	}()
+	return ds, nil
+}
+
+// Addr returns the address the server is listening on.
+func (ds *DebugServer) Addr() string {
+	if ds == nil {
+		return ""
+	}
+	return ds.ln.Addr().String()
+}
+
+// Close stops the server. Safe on a nil receiver and idempotent.
+func (ds *DebugServer) Close() error {
+	if ds == nil {
+		return nil
+	}
+	return ds.srv.Close()
+}
+
+// serveVars emits the expvar JSON document with the registry snapshot
+// appended as a "milback" member. Writing it by hand (mirroring
+// expvar.Handler's format) keeps registries per-server: expvar.Publish is
+// global and panics on duplicate names, which would break the second
+// Network in one process.
+func serveVars(w http.ResponseWriter, reg *Registry) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	snap, err := json.Marshal(reg.Snapshot())
+	if err == nil {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		fmt.Fprintf(w, "%q: %s", "milback", snap)
+	}
+	fmt.Fprintf(w, "\n}\n")
+}

@@ -1,0 +1,34 @@
+// Package obs is MilBack's observability plane: the instrumentation the
+// evaluation (paper §8–§9) needs to attribute time and memory behavior to
+// pipeline stages — chirp synthesis, range FFTs, peak detection, queue
+// waits, capture-buffer recycling — without perturbing the simulation.
+//
+// The package is deliberately dependency-free (standard library only) and
+// splits into two halves:
+//
+//   - Metrics: atomic Counters, Gauges, FloatSums and fixed-bucket
+//     Histograms created through a Registry. Instruments are resolved by
+//     name once at wiring time; the hot path then works on plain pointers
+//     with atomic operations, so recording a sample performs no allocation,
+//     takes no lock, and never touches a map.
+//   - Tracing: a Tracer holding a bounded ring buffer of Spans. Recording a
+//     span writes into a preallocated slot (old spans are overwritten once
+//     the ring wraps); Snapshot copies the surviving spans out and
+//     WriteTrace serializes them as JSONL for offline tooling
+//     (cmd/milback-report consumes these dumps).
+//
+// Two invariants the rest of the repository relies on:
+//
+//   - Allocation-free hot path: Counter.Add, Gauge.Set, FloatSum.Add,
+//     Histogram.Observe and Tracer.Record do not allocate. The capture
+//     plane's ≤ 30 allocs/op steady-state budget (scripts/alloc_gate.sh)
+//     holds with instrumentation enabled.
+//   - Bit-identical simulation: no instrument ever touches a noise stream
+//     or any other simulation state, so results for a fixed seed are
+//     byte-identical whether instrumentation is wired or not (the
+//     differential test in internal/core proves it).
+//
+// Every instrument method is safe on a nil receiver (a no-op), which is how
+// "instrumentation off" is expressed: layers hold nil instrument pointers
+// instead of branching on a flag.
+package obs

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. All methods are safe for
+// concurrent use and safe on a nil receiver (no-ops reading zero).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value (queue depths, open leases). All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the value by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatSum is an atomically accumulated float64 total (simulated airtime,
+// energy). Add is a lock-free CAS loop on the value's bits, so it allocates
+// nothing. Safe on a nil receiver.
+type FloatSum struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v into the sum.
+func (s *FloatSum) Add(v float64) {
+	if s == nil {
+		return
+	}
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated sum.
+func (s *FloatSum) Value() float64 {
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(s.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Bucket i counts observations
+// v < Bounds[i] (strict, matching the scheduler's historical queue-wait
+// binning); the final implicit bucket counts everything else. Observe is
+// allocation-free: a linear scan over the (small, fixed) bound slice and
+// one atomic increment. Safe on a nil receiver.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     FloatSum
+}
+
+// NewHistogram builds a standalone histogram (most callers get one from a
+// Registry instead). bounds must be sorted ascending; the slice is copied.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v >= h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Bounds returns a copy of the bucket upper bounds (the final bucket is
+// unbounded and has no entry here).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts returns the per-bucket counts, one more entry than Bounds
+// (the overflow bucket last). The counts are loaded individually, so under
+// concurrent writers the snapshot is approximate, never torn.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Snapshot captures the histogram's state for reporting.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Bounds:  h.Bounds(),
+		Buckets: h.BucketCounts(),
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	// Count is the number of observations and Sum their total.
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	// Bounds are the bucket upper bounds; Buckets has len(Bounds)+1 counts,
+	// the unbounded overflow bucket last.
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty histogram.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Registry is a named collection of instruments. Lookups are get-or-create
+// under a mutex; the intended pattern is to resolve instruments once at
+// wiring time and keep the returned pointers, leaving the hot path free of
+// both the lock and the map. All methods are safe for concurrent use and
+// safe on a nil receiver (returning nil no-op instruments).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	sums       map[string]*FloatSum
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		sums:       make(map[string]*FloatSum),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// FloatSum returns the named float accumulator, creating it on first use.
+func (r *Registry) FloatSum(name string) *FloatSum {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.sums[name]
+	if !ok {
+		s = &FloatSum{}
+		r.sums[name] = s
+	}
+	return s
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use. Later calls return the existing histogram whatever
+// bounds they pass, so wiring code should agree on one bucket scheme per
+// name.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every instrument's current value. Individual reads are
+// atomic but the cut across instruments is not (metrics semantics).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Sums:       make(map[string]float64, len(r.sums)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fs := range r.sums {
+		s.Sums[name] = fs.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Registry's instruments, keyed by
+// instrument name. It serializes cleanly to JSON (the debug server's
+// /debug/vars embeds one).
+type Snapshot struct {
+	// Counters, Gauges, Sums and Histograms hold each instrument family's
+	// values by registered name.
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Sums       map[string]float64           `json:"sums,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}

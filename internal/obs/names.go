@@ -1,0 +1,54 @@
+package obs
+
+// Canonical instrument names. Layers resolve these against the system
+// Registry at wiring time; milback.Network.Metrics assembles its typed
+// snapshot from the same names, so the two sides never drift.
+const (
+	// Scheduler (internal/proto.Engine).
+	MetricQueueWaitSeconds   = "proto.queue_wait_seconds"
+	MetricJobDurationSeconds = "proto.job_duration_seconds"
+	MetricJobsCompleted      = "proto.jobs_completed"
+	MetricJobsFailed         = "proto.jobs_failed"
+	MetricJobsCancelled      = "proto.jobs_cancelled"
+	MetricExchanges          = "proto.exchanges"
+	MetricLocalizations      = "proto.localizations"
+	MetricBitsSent           = "proto.bits_sent"
+	MetricBitErrors          = "proto.bit_errors"
+	MetricAirtimeSeconds     = "proto.airtime_seconds"
+
+	// Capture plane (internal/capture).
+	MetricPoolHits         = "capture.pool.hits"
+	MetricPoolMisses       = "capture.pool.misses"
+	MetricPoolPuts         = "capture.pool.puts"
+	MetricPoolDrops        = "capture.pool.drops"
+	MetricLeaseSeconds     = "capture.lease_seconds"
+	MetricLeasesOpened     = "capture.leases_opened"
+	MetricLeasesClosed     = "capture.leases_closed"
+	MetricLeasesReclaimed  = "capture.leases_reclaimed"
+	MetricCapturesAcquired = "capture.captures"
+
+	// AP pipeline stages (internal/ap).
+	MetricClutterHits          = "ap.clutter.hits"
+	MetricClutterMisses        = "ap.clutter.misses"
+	MetricClutterInvalidations = "ap.clutter.invalidations"
+	MetricSynthesizeSeconds    = "ap.synthesize_seconds"
+	MetricFFTSeconds           = "ap.fft_seconds"
+	MetricDetectSeconds        = "ap.detect_seconds"
+)
+
+// Canonical trace span names.
+const (
+	SpanSynthesize = "ap.synthesize"
+	SpanFFT        = "ap.fft"
+	SpanDetect     = "ap.detect"
+	SpanJob        = "proto.job"
+	SpanLease      = "capture.lease"
+)
+
+// DurationBuckets returns the shared bucket scheme for stage-timing
+// histograms: decade-spaced upper bounds from 1 µs to 10 s (in seconds),
+// plus the implicit overflow bucket. Wide enough that one scheme serves
+// both microsecond FFTs and second-long discovery sweeps.
+func DurationBuckets() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10}
+}

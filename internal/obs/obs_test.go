@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeFloatSum(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	var s FloatSum
+	s.Add(1.5)
+	s.Add(2.25)
+	if got := s.Value(); got != 3.75 {
+		t.Errorf("float sum = %g, want 3.75", got)
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		s *FloatSum
+		h *Histogram
+		r *Registry
+		d *Tracer
+	)
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	s.Add(1)
+	h.Observe(1)
+	d.Record("x", time.Now(), 0)
+	d.RecordSpan(Span{})
+	if c.Value() != 0 || g.Value() != 0 || s.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must read zero")
+	}
+	if r.Counter("x") != nil || r.Histogram("x", nil) != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	if d.Snapshot() != nil || d.Total() != 0 || d.Dropped() != 0 {
+		t.Error("nil tracer must read empty")
+	}
+	if snap := r.Snapshot(); snap.Counters != nil || snap.Histograms != nil {
+		t.Error("nil registry snapshot must be zero")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the binning convention: bucket i counts
+// v < bounds[i] (strict), the final bucket is unbounded. A value exactly on
+// a bound lands in the bucket above it — the same convention the scheduler's
+// historical queue-wait histogram used.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{
+		0,    // below every bound -> bucket 0
+		0.99, // bucket 0
+		1,    // exactly on bounds[0] -> bucket 1
+		5,    // bucket 1
+		10,   // exactly on bounds[1] -> bucket 2
+		99.9, // bucket 2
+		100,  // exactly on bounds[2] -> overflow
+		1e9,  // overflow
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2}
+	if got := h.BucketCounts(); !equalU64(got, want) {
+		t.Errorf("bucket counts = %v, want %v", got, want)
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	snap := h.Snapshot()
+	if snap.Count != 8 || len(snap.Bounds) != 3 || len(snap.Buckets) != 4 {
+		t.Errorf("snapshot shape wrong: %+v", snap)
+	}
+	if got, want := snap.Mean(), h.Sum()/8; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramZeroBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	h.Observe(3)
+	h.Observe(-1)
+	if got := h.BucketCounts(); !equalU64(got, []uint64{2}) {
+		t.Errorf("bucket counts = %v, want [2]", got)
+	}
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRegistryConcurrent hammers get-or-create and writes from many
+// goroutines; run under -race this is the registry's thread-safety proof,
+// and the final totals prove no increment was lost.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("depth").Add(1)
+				r.FloatSum("airtime").Add(0.5)
+				r.Histogram("wait", []float64{1, 2}).Observe(float64(i % 3))
+				// A name unique per worker exercises create vs lookup races.
+				r.Counter(fmt.Sprintf("w%d", i%workers)).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := r.Counter("shared").Value(); got != total {
+		t.Errorf("shared counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("depth").Value(); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	if got := r.FloatSum("airtime").Value(); got != total/2 {
+		t.Errorf("float sum = %g, want %d", got, total/2)
+	}
+	if got := r.Histogram("wait", nil).Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["shared"] != total || snap.Histograms["wait"].Count != total {
+		t.Errorf("snapshot disagrees with instruments: %+v", snap)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.RecordSpan(Span{Name: "s", Arg: int64(i)})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(spans))
+	}
+	// Oldest-first: the retained spans are args 6..9.
+	for i, s := range spans {
+		if s.Arg != int64(6+i) {
+			t.Errorf("span %d arg = %d, want %d", i, s.Arg, 6+i)
+		}
+	}
+}
+
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record("a", time.Now().Add(-time.Millisecond), 1)
+	tr.RecordSpan(Span{Name: "b", Arg: 2})
+	spans := tr.Snapshot()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("snapshot = %+v", spans)
+	}
+	if spans[0].DurNS <= 0 {
+		t.Errorf("Record must compute a positive duration, got %d", spans[0].DurNS)
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	in := []Span{
+		{Name: "ap.synthesize", StartNS: 100, DurNS: 50, Arg: 5},
+		{Name: "ap.fft", StartNS: 160, DurNS: 20},
+		{Name: "capture.lease", StartNS: 90, DurNS: 200, Arg: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(in) {
+		t.Errorf("trace has %d lines, want %d", got, len(in))
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("span %d = %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadTraceSkipsBlanksAndReportsBadLines(t *testing.T) {
+	spans, err := ReadTrace(strings.NewReader("\n{\"name\":\"x\"}\n\n"))
+	if err != nil || len(spans) != 1 || spans[0].Name != "x" {
+		t.Fatalf("spans=%v err=%v", spans, err)
+	}
+	_, err = ReadTrace(strings.NewReader("{\"name\":\"x\"}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("capture.pool.hits").Add(3)
+	reg.Histogram("proto.queue_wait_seconds", []float64{1}).Observe(0.5)
+	ds, err := StartDebugServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	body := httpGet(t, "http://"+ds.Addr()+"/debug/vars")
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(doc["milback"], &snap); err != nil {
+		t.Fatalf("milback member: %v", err)
+	}
+	if snap.Counters["capture.pool.hits"] != 3 {
+		t.Errorf("pool hits via /debug/vars = %d, want 3", snap.Counters["capture.pool.hits"])
+	}
+	if snap.Histograms["proto.queue_wait_seconds"].Count != 1 {
+		t.Errorf("histogram via /debug/vars = %+v", snap.Histograms["proto.queue_wait_seconds"])
+	}
+	if _, ok := doc["memstats"]; !ok {
+		t.Error("expected standard expvar memstats member")
+	}
+
+	if !bytes.Contains(httpGet(t, "http://"+ds.Addr()+"/debug/pprof/cmdline"), []byte("obs")) {
+		t.Error("pprof cmdline should mention the test binary")
+	}
+
+	// Two registries in one process must not collide (no global Publish).
+	ds2, err := StartDebugServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("second debug server: %v", err)
+	}
+	ds2.Close()
+
+	var nilDS *DebugServer
+	if nilDS.Addr() != "" || nilDS.Close() != nil {
+		t.Error("nil DebugServer must be inert")
+	}
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

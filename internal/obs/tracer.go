@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one traced interval: a named pipeline stage with a wall-clock
+// start, a duration, and one free-form integer argument (a chirp count, a
+// scheduler queue key — whatever identifies the work).
+type Span struct {
+	// Name identifies the stage ("ap.synthesize", "proto.job", ...). Use
+	// string constants: storing a constant in a preallocated slot does not
+	// allocate.
+	Name string `json:"name"`
+	// StartNS is the span's start as Unix nanoseconds; DurNS its duration
+	// in nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Arg is the stage-specific argument (0 when unused).
+	Arg int64 `json:"arg,omitempty"`
+}
+
+// Tracer records Spans into a bounded ring buffer: the newest spans
+// overwrite the oldest once the ring is full, so tracing can stay on
+// indefinitely with fixed memory. Record writes into a preallocated slot
+// under a mutex — no allocation, which keeps the capture hot path inside
+// its allocation budget. All methods are safe for concurrent use and safe
+// on a nil receiver.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Span
+	next  int    // slot the next span lands in
+	total uint64 // spans ever recorded
+}
+
+// DefaultTraceCapacity is the ring size a System's tracer uses: enough for
+// several thousand pipeline stages (hundreds of full packets) before
+// wrapping.
+const DefaultTraceCapacity = 4096
+
+// NewTracer builds a tracer whose ring holds capacity spans (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{buf: make([]Span, capacity)}
+}
+
+// Record appends a span that started at start and ends now.
+func (t *Tracer) Record(name string, start time.Time, arg int64) {
+	t.RecordSpan(Span{
+		Name:    name,
+		StartNS: start.UnixNano(),
+		DurNS:   int64(time.Since(start)),
+		Arg:     arg,
+	})
+}
+
+// RecordSpan appends a fully formed span, overwriting the oldest one if the
+// ring is full.
+func (t *Tracer) RecordSpan(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf[t.next] = s
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total >= uint64(len(t.buf)) {
+		out := make([]Span, 0, len(t.buf))
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+		return out
+	}
+	out := make([]Span, t.next)
+	copy(out, t.buf[:t.next])
+	return out
+}
+
+// Total returns how many spans were ever recorded (retained or not).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many spans the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.total <= uint64(len(t.buf)) {
+		return 0
+	}
+	return t.total - uint64(len(t.buf))
+}

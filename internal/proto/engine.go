@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The AP airtime scheduler.
@@ -56,6 +58,15 @@ type EngineConfig struct {
 	// The network wires it to the capture plane's job lease so capture
 	// buffers a job leaks are reclaimed at the grant boundary.
 	OnGrant func() (release func())
+	// Obs is the registry the scheduler's accounting lives in (queue-wait
+	// and job-duration histograms, outcome counters, airtime totals). When
+	// nil the engine creates a private registry so Stats always works; pass
+	// the system registry to surface the scheduler alongside the capture
+	// and pipeline metrics.
+	Obs *obs.Registry
+	// Tracer, if non-nil, receives one obs.SpanJob span per executed job
+	// (Arg = the job's queue key).
+	Tracer *obs.Tracer
 }
 
 // queueWaitBounds are the upper edges of the queue-wait histogram buckets;
@@ -101,6 +112,12 @@ type Stats struct {
 	Cancelled uint64
 	// QueueWait is a histogram of wall-clock queue waits of executed jobs
 	// (see QueueWaitBucketBounds).
+	//
+	// Deprecated: the scheduler's accounting now lives in the obs registry
+	// (obs.MetricQueueWaitSeconds), which is also where the job-duration
+	// distribution is. This field remains populated — mirrored from that
+	// histogram, never double-counted — for one release; read the registry
+	// (or milback.Network.Metrics) instead.
 	QueueWait [QueueWaitBuckets]uint64
 }
 
@@ -130,6 +147,41 @@ type job struct {
 	claimed atomic.Bool
 }
 
+// engineObs is the scheduler's accounting, resolved once from the obs
+// registry at construction so the grant path works on plain instrument
+// pointers (atomic, allocation-free).
+type engineObs struct {
+	queueWait   *obs.Histogram
+	jobDuration *obs.Histogram
+	completed   *obs.Counter
+	failed      *obs.Counter
+	cancelled   *obs.Counter
+	exchanges   *obs.Counter
+	locs        *obs.Counter
+	bitErrors   *obs.Counter
+	bitsSent    *obs.Counter
+	airtime     *obs.FloatSum
+}
+
+func resolveEngineObs(reg *obs.Registry) engineObs {
+	bounds := make([]float64, len(queueWaitBounds))
+	for i, d := range queueWaitBounds {
+		bounds[i] = d.Seconds()
+	}
+	return engineObs{
+		queueWait:   reg.Histogram(obs.MetricQueueWaitSeconds, bounds),
+		jobDuration: reg.Histogram(obs.MetricJobDurationSeconds, obs.DurationBuckets()),
+		completed:   reg.Counter(obs.MetricJobsCompleted),
+		failed:      reg.Counter(obs.MetricJobsFailed),
+		cancelled:   reg.Counter(obs.MetricJobsCancelled),
+		exchanges:   reg.Counter(obs.MetricExchanges),
+		locs:        reg.Counter(obs.MetricLocalizations),
+		bitErrors:   reg.Counter(obs.MetricBitErrors),
+		bitsSent:    reg.Counter(obs.MetricBitsSent),
+		airtime:     reg.FloatSum(obs.MetricAirtimeSeconds),
+	}
+}
+
 // Engine is the AP airtime scheduler. Create it with NewEngine; all methods
 // are safe for concurrent use.
 type Engine struct {
@@ -138,9 +190,7 @@ type Engine struct {
 	quit    chan struct{}
 	stopped chan struct{}
 	closing sync.Once
-
-	mu    sync.Mutex
-	stats Stats
+	obs     engineObs
 }
 
 // NewEngine starts a scheduler goroutine and returns its handle. Close it
@@ -149,11 +199,15 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:     cfg,
 		submit:  make(chan *job, cfg.QueueDepth),
 		quit:    make(chan struct{}),
 		stopped: make(chan struct{}),
+		obs:     resolveEngineObs(cfg.Obs),
 	}
 	go e.loop()
 	return e
@@ -166,11 +220,25 @@ func (e *Engine) Close() {
 	<-e.stopped
 }
 
-// Stats returns a snapshot of the scheduler's accounting.
+// Stats returns a snapshot of the scheduler's accounting, assembled from
+// the obs registry instruments. Each value is read atomically; the cut
+// across values is approximate under concurrent activity (quiesce the
+// scheduler for exact totals, as the tests do).
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := Stats{
+		Exchanges:     e.obs.exchanges.Value(),
+		Localizations: e.obs.locs.Value(),
+		BitErrors:     e.obs.bitErrors.Value(),
+		BitsSent:      e.obs.bitsSent.Value(),
+		AirtimeS:      e.obs.airtime.Value(),
+		Completed:     e.obs.completed.Value(),
+		Failed:        e.obs.failed.Value(),
+		Cancelled:     e.obs.cancelled.Value(),
+	}
+	// Mirror the deprecated QueueWait array from the histogram: same bucket
+	// bounds, one authoritative count.
+	copy(st.QueueWait[:], e.obs.queueWait.BucketCounts())
+	return st
 }
 
 // Run submits fn as a job on the given queue key and blocks until the
@@ -206,7 +274,7 @@ func (e *Engine) Run(ctx context.Context, key int, fn func(ctx context.Context) 
 	case <-e.quit:
 		return ErrClosed
 	case <-ctx.Done():
-		e.noteCancelled()
+		e.obs.cancelled.Inc()
 		return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 	}
 	select {
@@ -216,7 +284,7 @@ func (e *Engine) Run(ctx context.Context, key int, fn func(ctx context.Context) 
 		if j.claimed.CompareAndSwap(false, true) {
 			// Claim won: the scheduler has not started the job and, seeing
 			// the claim, never will. Safe to walk away.
-			e.noteCancelled()
+			e.obs.cancelled.Inc()
 			return fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
 		}
 		// The scheduler claimed the job first, so fn is executing (or its
@@ -307,7 +375,8 @@ func (e *Engine) loop() {
 	}
 }
 
-// execute runs one granted job and folds its report into the stats.
+// execute runs one granted job and folds its report into the registry
+// instruments.
 func (e *Engine) execute(j *job) {
 	if !j.claimed.CompareAndSwap(false, true) {
 		// The caller abandoned the job on cancellation (and counted it);
@@ -315,11 +384,12 @@ func (e *Engine) execute(j *job) {
 		return
 	}
 	if err := j.ctx.Err(); err != nil {
-		e.noteCancelled()
+		e.obs.cancelled.Inc()
 		j.done <- fmt.Errorf("%w: %w", ErrCancelled, err)
 		return
 	}
-	wait := time.Since(j.enqueued)
+	start := time.Now()
+	e.obs.queueWait.Observe(start.Sub(j.enqueued).Seconds())
 	var release func()
 	if e.cfg.OnGrant != nil {
 		release = e.cfg.OnGrant()
@@ -328,38 +398,21 @@ func (e *Engine) execute(j *job) {
 	if release != nil {
 		release()
 	}
-	e.mu.Lock()
-	e.noteWaitLocked(wait)
+	e.obs.jobDuration.Observe(time.Since(start).Seconds())
+	e.cfg.Tracer.Record(obs.SpanJob, start, int64(j.key))
 	if err != nil {
-		e.stats.Failed++
+		e.obs.failed.Inc()
 	} else {
-		e.stats.Completed++
+		e.obs.completed.Inc()
 		if rep.Exchange {
-			e.stats.Exchanges++
+			e.obs.exchanges.Inc()
 		}
 		if rep.Localization {
-			e.stats.Localizations++
+			e.obs.locs.Inc()
 		}
-		e.stats.BitErrors += uint64(rep.BitErrors)
-		e.stats.BitsSent += uint64(rep.BitsSent)
-		e.stats.AirtimeS += rep.AirtimeS
+		e.obs.bitErrors.Add(uint64(rep.BitErrors))
+		e.obs.bitsSent.Add(uint64(rep.BitsSent))
+		e.obs.airtime.Add(rep.AirtimeS)
 	}
-	e.mu.Unlock()
 	j.done <- err
-}
-
-func (e *Engine) noteCancelled() {
-	e.mu.Lock()
-	e.stats.Cancelled++
-	e.mu.Unlock()
-}
-
-func (e *Engine) noteWaitLocked(wait time.Duration) {
-	for i, bound := range queueWaitBounds {
-		if wait < bound {
-			e.stats.QueueWait[i]++
-			return
-		}
-	}
-	e.stats.QueueWait[QueueWaitBuckets-1]++
 }

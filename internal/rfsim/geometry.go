@@ -1,13 +1,3 @@
-// Package rfsim is the radio-frequency channel substrate of the MilBack
-// simulator. It models 2-D placement geometry, free-space (Friis) path loss
-// at millimeter-wave carrier frequencies, static clutter reflectors
-// (walls, desks, shelves — the "indoor environment" of §9), additive white
-// Gaussian noise with a configurable receiver noise figure, and the AP's
-// two-element receive array used for angle-of-arrival estimation.
-//
-// The paper's experiments ran over the air between a Keysight-instrumented
-// AP and the fabricated node; this package is the substitution for that
-// physical channel (see DESIGN.md §1).
 package rfsim
 
 import (

@@ -1,12 +1,3 @@
-// Package track provides a constant-velocity Kalman filter over MilBack
-// localization fixes. The paper motivates MilBack with VR/AR (§1), where a
-// headset is localized tens of times per second; fusing the per-packet
-// range/angle fixes through a tracker is how a downstream system turns
-// 2–10 cm single-shot fixes into a smooth, velocity-aware pose stream.
-//
-// State is [x, y, vx, vy] in meters and meters/second; measurements are
-// (x, y) positions with isotropic standard deviation. All 4×4 linear
-// algebra is written out directly — no dependencies.
 package track
 
 import (

@@ -1,6 +1,3 @@
-// Package waveform generates the signals MilBack's AP transmits: FMCW chirps
-// (sawtooth for localization, triangular for node-side orientation sensing),
-// single- and two-tone OAQFM symbols, and the packet framing of Fig 8.
 package waveform
 
 import (

@@ -1,0 +1,12 @@
+// Package waveform generates the signals MilBack's AP transmits: FMCW chirps
+// (sawtooth for localization, triangular for node-side orientation sensing),
+// single- and two-tone OAQFM symbols, and the packet framing of Fig 8.
+//
+// # Paper map
+//
+//   - §5.1 sawtooth localization chirps / §5.2b triangular orientation
+//     chirps — Chirp and its sampling helpers.
+//   - §6 OAQFM symbols — the one- and two-tone symbol generators.
+//   - §7 / Fig 8 packet structure — PacketSpec, DefaultPacketSpec,
+//     Direction and the Field-1/Field-2 durations.
+package waveform

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
@@ -67,6 +68,7 @@ type options struct {
 	scene      *rfsim.Scene
 	seed       int64
 	jobTimeout time.Duration
+	debugAddr  string
 }
 
 // WithSeed fixes the network's base random seed (default 1). Per-node seed
@@ -106,7 +108,8 @@ func WithJobTimeout(d time.Duration) Option {
 // nodes by spatial-division multiplexing. All methods are safe for
 // concurrent use.
 type Network struct {
-	net *proto.Network
+	net   *proto.Network
+	debug *obs.DebugServer
 }
 
 // NewNetwork creates a network with the paper's prototype configuration in
@@ -128,13 +131,24 @@ func NewNetwork(opts ...Option) (*Network, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	return &Network{net: proto.NewNetworkSeeded(sys, o.seed, o.jobTimeout)}, nil
+	nw := &Network{net: proto.NewNetworkSeeded(sys, o.seed, o.jobTimeout)}
+	if o.debugAddr != "" {
+		if sys.Obs() == nil {
+			return nil, fmt.Errorf("%w: debug server requires observability (DisableObservability is set)", ErrInvalidConfig)
+		}
+		nw.debug, err = obs.StartDebugServer(o.debugAddr, sys.Obs())
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		}
+	}
+	return nw, nil
 }
 
 // Close shuts down the network's airtime scheduler. Operations in flight or
 // queued fail with ErrClosed, as does any later call. Close is idempotent.
 func (nw *Network) Close() {
 	nw.net.Close()
+	_ = nw.debug.Close()
 }
 
 // Stats is a snapshot of network-wide counters maintained by the airtime
@@ -164,6 +178,10 @@ type Stats struct {
 	// QueueWait is a histogram of how long jobs waited for the beam; bucket
 	// i counts waits below QueueWaitBucketBounds()[i], the last bucket is
 	// unbounded.
+	//
+	// Deprecated: use Network.Metrics().QueueWait, which carries the bucket
+	// bounds alongside the counts. This field remains populated (from the
+	// same underlying histogram) for compatibility.
 	QueueWait [proto.QueueWaitBuckets]uint64
 }
 

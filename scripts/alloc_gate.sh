@@ -1,10 +1,15 @@
 #!/bin/sh
 # Allocation gate for the capture plane (PR 3): the pooled + clutter-cached
 # steady-state localization pipeline must allocate at most half of what the
-# allocate-everything reference does per op. Run from the repository root:
+# allocate-everything reference does per op, and (PR 4, with the obs
+# instrumentation live on that path) at most MAX_ALLOCS absolute allocs/op —
+# so adding a counter or histogram that allocates per observation fails the
+# gate. Run from the repository root:
 #
 #	./scripts/alloc_gate.sh [benchtime]
 set -eu
+
+MAX_ALLOCS="${MAX_ALLOCS:-30}"
 
 BENCHTIME="${1:-20x}"
 
@@ -31,5 +36,9 @@ echo "$out" | awk '
 			print "alloc gate FAILED: pooled path must allocate <= 50% of the reference"
 			exit 1
 		}
+		if (pooled + 0 > max + 0) {
+			printf "alloc gate FAILED: pooled path at %d allocs/op, cap is %d\n", pooled, max
+			exit 1
+		}
 		print "alloc gate OK"
-	}'
+	}' max="$MAX_ALLOCS"

@@ -1,0 +1,114 @@
+// Command docscheck reports exported identifiers that lack a godoc comment.
+//
+//	go run ./scripts/docscheck [-all] pkgdir...
+//
+// For each package directory it parses the Go source (tests excluded) and
+// prints one line per undocumented exported type, function, method, or
+// package-level const/var group, plus packages missing a package comment.
+// Exits non-zero if anything is undocumented. Fields inside structs and
+// interface methods are not required to carry comments; grouped const/var
+// declarations pass if the group has a doc comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck pkgdir...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range flag.Args() {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d undocumented exported identifier(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			for _, decl := range f.Decls {
+				bad += checkDecl(fset, decl)
+			}
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
+			bad++
+		}
+	}
+	return bad
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) int {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			report(fset, d.Pos(), "func", d.Name.Name)
+			return 1
+		}
+	case *ast.GenDecl:
+		return checkGenDecl(fset, d)
+	}
+	return 0
+}
+
+// checkGenDecl handles type/const/var declarations. A doc comment on the
+// grouped declaration covers every spec inside it; otherwise each exported
+// spec needs its own.
+func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) int {
+	if d.Tok == token.IMPORT || d.Doc != nil {
+		return 0
+	}
+	bad := 0
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(fset, s.Pos(), "type", s.Name.Name)
+				bad++
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(fset, name.Pos(), d.Tok.String(), name.Name)
+					bad++
+				}
+			}
+		}
+	}
+	return bad
+}
+
+func report(fset *token.FileSet, pos token.Pos, kind, name string) {
+	p := fset.Position(pos)
+	fmt.Printf("%s:%d: undocumented exported %s %s\n", filepath.ToSlash(p.Filename), p.Line, kind, name)
+}

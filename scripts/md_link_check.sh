@@ -1,0 +1,40 @@
+#!/bin/sh
+# Markdown link checker for the repo's top-level docs: every relative link
+# target in the given files (default README.md DESIGN.md ROADMAP.md) must
+# exist on disk. External links (http/https/mailto) and pure in-page
+# anchors (#...) are not fetched. Run from the repository root:
+#
+#	./scripts/md_link_check.sh [file.md ...]
+set -eu
+
+FILES="${*:-README.md DESIGN.md ROADMAP.md}"
+
+fail=0
+for f in $FILES; do
+	if [ ! -f "$f" ]; then
+		echo "md_link_check: $f: no such file"
+		fail=1
+		continue
+	fi
+	# Extract inline link targets: [text](target). Reference-style and
+	# autolinks are not used in these docs.
+	targets="$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/.*](\([^)]*\))/\1/' || true)"
+	for t in $targets; do
+		case "$t" in
+		http://* | https://* | mailto:* | "#"*) continue ;;
+		esac
+		# Strip any in-page anchor from a file link (DESIGN.md#sec).
+		path="${t%%#*}"
+		[ -n "$path" ] || continue
+		if [ ! -e "$path" ]; then
+			echo "md_link_check: $f: broken link -> $t"
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "md_link_check FAILED"
+	exit 1
+fi
+echo "md_link_check OK"
