@@ -240,6 +240,10 @@ func (a *AP) addBeatTone(frame *ChirpFrame, c waveform.Chirp, tau, amp, aoaRad, 
 	fBeat := c.BeatFrequency(tau)
 	phi0 := -2 * math.Pi * c.FreqLow * tau
 	dPhi := 2*math.Pi*a.cfg.RxSpacingM*math.Sin(aoaRad)/lambda + psi
+	// The inter-antenna rotation depends only on the arrival angle, not on
+	// the sample index.
+	s2, c2 := math.Sincos(dPhi)
+	rot := complex(c2, s2)
 	n := len(frame.Rx[0])
 	for i := 0; i < n; i++ {
 		t := float64(i) / fs
@@ -254,8 +258,7 @@ func (a *AP) addBeatTone(frame *ChirpFrame, c waveform.Chirp, tau, amp, aoaRad, 
 		s, cth := math.Sincos(ph)
 		base := complex(av*cth, av*s)
 		frame.Rx[0][i] += base
-		s2, c2 := math.Sincos(dPhi)
-		frame.Rx[1][i] += base * complex(c2, s2)
+		frame.Rx[1][i] += base * rot
 	}
 }
 
