@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline docs-check
+.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline bench-compare docs-check
 
-verify: lint docs-check build race determinism alloc-gate bench
+verify: lint docs-check build race determinism alloc-gate bench bench-compare
 
 # lint is the static gate: vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -61,3 +61,9 @@ bench:
 # Regenerate the committed BENCH_seed.json baseline (longer benchtime).
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# Synthesis-kernel perf gate: the committed PR 5 snapshot's steady-state
+# capture ns/op must not regress more than 10% against the PR 3 baseline
+# (in practice it must be ~3x faster — see DESIGN.md §12).
+bench-compare:
+	./scripts/bench_compare.sh BENCH_pr3.json BENCH_pr5.json

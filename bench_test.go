@@ -584,3 +584,69 @@ func BenchmarkCaptureSteadyStateNoPool(b *testing.B) {
 	cfg.DisableClutterCache = true
 	benchCaptureSteadyState(b, cfg)
 }
+
+// BenchmarkCaptureSteadyStateRefSynth pins the same steady-state pipeline to
+// the per-sample-Sincos reference synthesis path (DisableFastSynth): the gap
+// to BenchmarkCaptureSteadyState is the PR 5 kernel rewrite (DESIGN.md §12).
+func BenchmarkCaptureSteadyStateRefSynth(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.DisableFastSynth = true
+	benchCaptureSteadyState(b, cfg)
+}
+
+// BenchmarkCaptureParallel4 is BenchmarkCaptureParallel with GOMAXPROCS
+// pinned to 4, so the chirp fan-out exercises the concurrent path (and its
+// pool contention) even on single-core CI machines where GOMAXPROCS would
+// otherwise degenerate the ForEach to serial.
+func BenchmarkCaptureParallel4(b *testing.B) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	a := ap.MustNew(ap.DefaultConfig(), rfsim.DefaultIndoorScene())
+	b.ResetTimer()
+	benchCapture(b, a, 32)
+}
+
+// benchSynthesize measures chirp-frame synthesis alone — no FFTs, no
+// detection — over a 64-chirp burst against a cluttered scene, the workload
+// the PR 5 kernels target. With the fast path the target declares its two
+// switch states so the gain-envelope memo engages, matching how core builds
+// its targets; the reference variant reproduces the historical
+// per-sample-Sincos cost.
+func benchSynthesize(b *testing.B, fastOn bool) {
+	a := ap.MustNew(ap.DefaultConfig(), rfsim.DefaultIndoorScene())
+	a.SetFastSynthEnabled(fastOn)
+	c := a.Config().LocalizationChirp
+	tgt := &ap.BackscatterTarget{
+		Pos: rfsim.Point{X: 3},
+		GainDBi: func(k int, f float64) float64 {
+			if k%2 == 1 {
+				return 25
+			}
+			return 5
+		},
+	}
+	if fastOn {
+		tgt.GainStates = 2
+		tgt.GainStateOf = func(k int) int { return k & 1 }
+	}
+	tgts := []*ap.BackscatterTarget{tgt}
+	ns := rfsim.NewNoiseSource(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.SynthesizeChirpsMulti(c, 64, tgts, nil, ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeChirpsMulti measures the fast synthesis kernels.
+func BenchmarkSynthesizeChirpsMulti(b *testing.B) {
+	benchSynthesize(b, true)
+}
+
+// BenchmarkSynthesizeChirpsMultiRefSynth measures the reference path on the
+// identical burst.
+func BenchmarkSynthesizeChirpsMultiRefSynth(b *testing.B) {
+	benchSynthesize(b, false)
+}

@@ -14,10 +14,14 @@ import (
 // AP only depends on this seam; the concrete pool lives in internal/capture
 // (which imports ap, hence the interface here). GetComplex must return a
 // zeroed slice of exactly n samples; PutComplex takes ownership of the
-// buffer. A nil BufferPool means plain allocation.
+// buffer. GetFloat64/PutFloat64 are the same contract for the real-valued
+// scratch the synthesis kernels use (gain envelopes, frequency grids). A
+// nil BufferPool means plain allocation.
 type BufferPool interface {
 	GetComplex(n int) []complex128
 	PutComplex(buf []complex128)
+	GetFloat64(n int) []float64
+	PutFloat64(buf []float64)
 }
 
 // Config holds the AP's RF and processing parameters.
@@ -134,6 +138,11 @@ type AP struct {
 	clutterOff   bool
 	clutterCache map[clutterKey][]rfsim.Path
 
+	// fastOff disables the phasor-recurrence synthesis kernels and restores
+	// the per-sample-Sincos reference path (SetFastSynthEnabled). Like
+	// clutterOff it is a wiring-time switch, not a per-capture one.
+	fastOff bool
+
 	// obs holds the AP's resolved stage instruments; nil (the default)
 	// means unobserved and the pipelines skip even the clock reads.
 	obs *apObs
@@ -151,6 +160,14 @@ type apObs struct {
 	clutterMiss  *obs.Counter
 	clutterInval *obs.Counter
 	tracer       *obs.Tracer
+
+	// Sub-stage split of the synthesize stage, recorded by the fast kernel
+	// path (DESIGN.md §12): clutter-template fill, target-tone generation
+	// (including gain-envelope memoization), and the noise fold-in. The
+	// reference path reports only the aggregate synthesize stage.
+	synthClutter *obs.Histogram
+	synthTargets *obs.Histogram
+	synthNoise   *obs.Histogram
 }
 
 // clutterKey identifies one clutter derivation. Pointing matters because
@@ -238,8 +255,24 @@ func (a *AP) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		clutterMiss:  reg.Counter(obs.MetricClutterMisses),
 		clutterInval: reg.Counter(obs.MetricClutterInvalidations),
 		tracer:       tr,
+		synthClutter: reg.Histogram(obs.MetricSynthClutterSeconds, obs.DurationBuckets()),
+		synthTargets: reg.Histogram(obs.MetricSynthTargetsSeconds, obs.DurationBuckets()),
+		synthNoise:   reg.Histogram(obs.MetricSynthNoiseSeconds, obs.DurationBuckets()),
 	}
 }
+
+// SetFastSynthEnabled toggles the phasor-recurrence synthesis kernels
+// (enabled by default). Disabling them restores the per-sample-Sincos
+// reference path, whose output is bit-identical to the historical
+// implementation; the fast kernels match it within the 1e-9 relative drift
+// bound the differential tests pin (DESIGN.md §12). Like the clutter-cache
+// switch this is wiring-time configuration, not safe to flip concurrently
+// with captures.
+func (a *AP) SetFastSynthEnabled(on bool) { a.fastOff = !on }
+
+// FastSynthEnabled reports whether the phasor-recurrence kernels are
+// active.
+func (a *AP) FastSynthEnabled() bool { return !a.fastOff }
 
 // SetClutterCacheEnabled toggles the clutter-path cache (enabled by
 // default). Disabling it restores derive-per-capture behavior for
@@ -312,6 +345,23 @@ func (a *AP) getComplex(n int) []complex128 {
 func (a *AP) putComplex(buf []complex128) {
 	if a.pool != nil {
 		a.pool.PutComplex(buf)
+	}
+}
+
+// getFloat64 draws a zeroed real-valued scratch buffer from the pool, or
+// allocates one.
+func (a *AP) getFloat64(n int) []float64 {
+	if a.pool == nil {
+		return make([]float64, n)
+	}
+	return a.pool.GetFloat64(n)
+}
+
+// putFloat64 returns a real-valued scratch buffer to the pool (no-op
+// without a pool).
+func (a *AP) putFloat64(buf []float64) {
+	if a.pool != nil {
+		a.pool.PutFloat64(buf)
 	}
 }
 

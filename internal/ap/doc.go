@@ -22,8 +22,19 @@
 //   - ISAC extension — EstimateRadialVelocity (chirp-to-chirp carrier
 //     phase), DetectTargets (discovery sweeps).
 //
+// Chirp synthesis runs on fast phasor-recurrence kernels by default
+// (kernel.go, DESIGN.md §12): beat tones advance by one complex multiply
+// per sample, static clutter is rendered once per capture into a shared
+// template, and a BackscatterTarget that declares its switch states
+// (GainStates/GainStateOf — the FSA node's two toggled ports in §5.1) has
+// its gain curves memoized per state. SetFastSynthEnabled(false) selects
+// the per-sample-Sincos reference path, which fast synthesis matches
+// within 1e-9 relative per sample.
+//
 // When an obs registry is attached via SetObserver, the three pipeline
 // stages (synthesize, FFT, detect) record per-call timing histograms and
-// trace spans, and the clutter-geometry cache counts hits, misses and
-// invalidations; with no observer the pipelines skip all clock reads.
+// trace spans — fast synthesis further splits into clutter-template,
+// target-tone and noise sub-stages — and the clutter-geometry cache
+// counts hits, misses and invalidations; with no observer the pipelines
+// skip all clock reads.
 package ap

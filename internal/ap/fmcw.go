@@ -44,6 +44,17 @@ type BackscatterTarget struct {
 	// 2·v·k·CRI/c per chirp, whose carrier-phase progression is the Doppler
 	// observable EstimateRadialVelocity reads.
 	RadialVelocityMS float64
+	// GainStates, when positive, declares that GainDBi depends on the chirp
+	// index only through GainStateOf(chirpIdx): there are GainStates
+	// distinct switch states (the FSA node toggling its ports gives two),
+	// and chirps in the same state see the identical gain-vs-frequency
+	// curve. The fast synthesis kernels then evaluate the curve once per
+	// state instead of once per chirp (DESIGN.md §12). GainStateOf must be
+	// safe for concurrent calls and return values in [0, GainStates); a
+	// declared GainStates without GainStateOf is an invalid configuration.
+	// Leave GainStates zero for targets whose gain varies freely per chirp.
+	GainStates  int
+	GainStateOf func(chirpIdx int) int
 }
 
 // ModulatedPath injects an extra, possibly chirp-varying path — used to
@@ -93,6 +104,21 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 	if nChirps < 1 {
 		return nil, fmt.Errorf("ap: %w: need at least one chirp, got %d", ErrInvalidConfig, nChirps)
 	}
+	for _, tgt := range tgts {
+		if tgt == nil || tgt.GainStates <= 0 {
+			continue
+		}
+		if tgt.GainStateOf == nil {
+			return nil, fmt.Errorf("ap: %w: target declares %d gain states but no GainStateOf",
+				ErrInvalidConfig, tgt.GainStates)
+		}
+		for k := 0; k < nChirps; k++ {
+			if s := tgt.GainStateOf(k); s < 0 || s >= tgt.GainStates {
+				return nil, fmt.Errorf("ap: %w: GainStateOf(%d) = %d outside [0, %d)",
+					ErrInvalidConfig, k, s, tgt.GainStates)
+			}
+		}
+	}
 	if o := a.obs; o != nil {
 		start := time.Now()
 		defer func() {
@@ -125,12 +151,6 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 
 	// Per-target constants, hoisted out of the chirp loop: geometry and the
 	// obstruction loss do not depend on the chirp index.
-	type targetState struct {
-		tgt      *BackscatterTarget
-		d, az    float64
-		blk      float64
-		txG, rxG float64
-	}
 	targets := make([]targetState, 0, len(tgts))
 	for _, tgt := range tgts {
 		if tgt == nil {
@@ -147,11 +167,6 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 			txG: a.tx.GainDBi(az),
 			rxG: a.rx[0].GainDBi(az),
 		})
-	}
-	type extraState struct {
-		path ModulatedPath
-		az   float64
-		tau  float64
 	}
 	extras := make([]extraState, len(extra))
 	for i, ep := range extra {
@@ -177,8 +192,48 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 		}
 	}
 
-	frames := make([]ChirpFrame, nChirps)
-	parallel.ForEach(nChirps, func(k int) {
+	st := synthState{
+		cEff:    cEff,
+		nChirps: nChirps,
+		nSamp:   nSamp,
+		fs:      fs,
+		fc:      fc,
+		lambda:  lambda,
+		txAmp:   txAmp,
+		radar:   radarLoss,
+		jitter:  jitter,
+		psi:     psi,
+		clutter: clutter,
+		targets: targets,
+		extras:  extras,
+		noise:   noise,
+		frames:  make([]ChirpFrame, nChirps),
+	}
+	// synthState travels by value: the dispatchees only read its fields, and
+	// a pointer would escape into the fan-out closures, costing a heap
+	// allocation per capture.
+	if a.fastOff {
+		a.synthesizeRef(st)
+	} else {
+		a.synthesizeFast(st)
+	}
+	return st.frames, nil
+}
+
+// synthesizeRef renders the capture with the per-sample-Sincos reference
+// kernels — the historical implementation, kept bit-identical so
+// DisableFastSynth pins old behavior and the differential tests have an
+// exact baseline to compare synthesizeFast against.
+func (a *AP) synthesizeRef(st synthState) {
+	// Unpack into locals so the fan-out closure captures read-only scalars
+	// and slice headers by value; capturing the whole parameter would box it
+	// on the heap — one allocation per capture for nothing.
+	cEff, nSamp, fc := st.cEff, st.nSamp, st.fc
+	lambda, txAmp, radarLoss := st.lambda, st.txAmp, st.radar
+	jitter, psi := st.jitter, st.psi
+	clutter, targets, extras := st.clutter, st.targets, st.extras
+	noise, frames := st.noise, st.frames
+	parallel.ForEach(st.nChirps, func(k int) {
 		var frame ChirpFrame
 		for m := 0; m < 2; m++ {
 			frame.Rx[m] = a.getComplex(nSamp)
@@ -228,7 +283,6 @@ func (a *AP) SynthesizeChirpsMulti(c waveform.Chirp, nChirps int, tgts []*Backsc
 		}
 		frames[k] = frame
 	})
-	return frames, nil
 }
 
 // addBeatTone adds one path's beat contribution to both antennas. If ampAt

@@ -36,6 +36,14 @@ func NoCache() Option {
 	return func(p *Plane) { p.noCache = true }
 }
 
+// NoFastSynth disables the phasor-recurrence synthesis kernels: every beat
+// tone is generated with the per-sample-Sincos reference path, whose output
+// is bit-identical to the historical implementation. The differential tests
+// compare the fast kernels against this mode.
+func NoFastSynth() Option {
+	return func(p *Plane) { p.noFast = true }
+}
+
 // Plane is the shared capture pipeline of one AP. It is safe for
 // concurrent use in the sense the airtime scheduler guarantees — one
 // operation on the air at a time; individual Leases are not goroutine-safe.
@@ -43,6 +51,7 @@ type Plane struct {
 	ap      *ap.AP
 	pool    *Pool
 	noCache bool
+	noFast  bool
 
 	// Observability wiring (set by WithObserver, resolved once in
 	// NewPlane). obs is nil when unobserved; every instrument call is
@@ -85,6 +94,7 @@ func NewPlane(a *ap.AP, opts ...Option) *Plane {
 	}
 	a.SetBufferPool(bufferPool(p.pool))
 	a.SetClutterCacheEnabled(!p.noCache)
+	a.SetFastSynthEnabled(!p.noFast)
 	return p
 }
 

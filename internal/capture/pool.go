@@ -29,6 +29,10 @@ import (
 type Pool struct {
 	mu      sync.Mutex
 	classes map[int][][]complex128
+	// classesF are the real-valued size classes: the synthesis kernels'
+	// gain envelopes and frequency grids (DESIGN.md §12). Same contract as
+	// the complex classes — exact sizes, zeroed on Get, capped per class.
+	classesF map[int][][]float64
 
 	// Recycling counters (nil when the plane is not observed; all obs
 	// instruments are nil-safe). hits/misses split Gets by whether a
@@ -43,7 +47,12 @@ type Pool struct {
 const classCap = 256
 
 // NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{classes: make(map[int][][]complex128)} }
+func NewPool() *Pool {
+	return &Pool{
+		classes:  make(map[int][][]complex128),
+		classesF: make(map[int][][]float64),
+	}
+}
 
 // Observe wires the pool's recycling counters into a registry. Safe on a
 // nil pool (the NoPool reference mode records nothing).
@@ -90,6 +99,49 @@ func (p *Pool) PutComplex(buf []complex128) {
 	kept := false
 	if free := p.classes[len(buf)]; len(free) < classCap {
 		p.classes[len(buf)] = append(free, buf)
+		kept = true
+	}
+	p.mu.Unlock()
+	if kept {
+		p.puts.Inc()
+	} else {
+		p.drops.Inc()
+	}
+}
+
+// GetFloat64 returns a zeroed []float64 of length n, recycled when a buffer
+// of that exact class is available.
+func (p *Pool) GetFloat64(n int) []float64 {
+	if p == nil || n == 0 {
+		return make([]float64, n)
+	}
+	p.mu.Lock()
+	free := p.classesF[n]
+	if len(free) > 0 {
+		buf := free[len(free)-1]
+		free[len(free)-1] = nil
+		p.classesF[n] = free[:len(free)-1]
+		p.mu.Unlock()
+		p.hits.Inc()
+		clear(buf)
+		return buf
+	}
+	p.mu.Unlock()
+	p.misses.Inc()
+	return make([]float64, n)
+}
+
+// PutFloat64 returns a real-valued buffer to its size class, under the same
+// ownership contract as PutComplex.
+func (p *Pool) PutFloat64(buf []float64) {
+	if p == nil || cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	p.mu.Lock()
+	kept := false
+	if free := p.classesF[len(buf)]; len(free) < classCap {
+		p.classesF[len(buf)] = append(free, buf)
 		kept = true
 	}
 	p.mu.Unlock()

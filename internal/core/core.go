@@ -51,6 +51,14 @@ type Config struct {
 	// bit-identical either way.
 	DisableCapturePool  bool
 	DisableClutterCache bool
+	// DisableFastSynth turns off the phasor-recurrence synthesis kernels
+	// (clutter templates, FSA gain-envelope memoization, incremental beat
+	// phasors) and restores the per-sample-Sincos reference path. The
+	// reference path is bit-identical to the historical implementation; the
+	// fast kernels match it within a 1e-9 relative drift bound that the
+	// differential tests pin at both the sample and the experiment level
+	// (DESIGN.md §12).
+	DisableFastSynth bool
 	// DisableObservability turns off the stage-timing histograms, capture
 	// counters and span tracer. Instrumentation never touches the noise
 	// streams, so results are bit-identical either way; the switch exists for
@@ -115,6 +123,9 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	}
 	if cfg.DisableClutterCache {
 		opts = append(opts, capture.NoCache())
+	}
+	if cfg.DisableFastSynth {
+		opts = append(opts, capture.NoFastSynth())
 	}
 	if !cfg.DisableObservability {
 		s.reg = obs.NewRegistry()
@@ -183,6 +194,10 @@ func localizationTarget(n *node.Node) *ap.BackscatterTarget {
 			}
 			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(mode, mode, fHz, n.OrientationDeg)) / 2
 		},
+		// The gain depends on k only through the toggle parity, so the fast
+		// synthesis kernels memoize the two gain curves (DESIGN.md §12).
+		GainStates:  2,
+		GainStateOf: func(k int) int { return k & 1 },
 	}
 }
 
@@ -198,6 +213,9 @@ func orientationTarget(n *node.Node) *ap.BackscatterTarget {
 			}
 			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(fsa.Absorptive, modeB, fHz, n.OrientationDeg)) / 2
 		},
+		// Toggle-parity switching again: two distinct gain curves per burst.
+		GainStates:  2,
+		GainStateOf: func(k int) int { return k & 1 },
 	}
 }
 

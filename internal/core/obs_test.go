@@ -93,6 +93,8 @@ func TestObservabilityRecords(t *testing.T) {
 	for _, name := range []string{
 		obs.MetricSynthesizeSeconds, obs.MetricFFTSeconds,
 		obs.MetricDetectSeconds, obs.MetricLeaseSeconds,
+		obs.MetricSynthClutterSeconds, obs.MetricSynthTargetsSeconds,
+		obs.MetricSynthNoiseSeconds,
 	} {
 		if snap.Histograms[name].Count == 0 {
 			t.Errorf("histogram %s empty, want observations", name)
@@ -108,7 +110,10 @@ func TestObservabilityRecords(t *testing.T) {
 			t.Errorf("span %s has negative duration", s.Name)
 		}
 	}
-	for _, want := range []string{obs.SpanSynthesize, obs.SpanFFT, obs.SpanDetect, obs.SpanLease} {
+	for _, want := range []string{
+		obs.SpanSynthesize, obs.SpanSynthClutter, obs.SpanSynthTargets,
+		obs.SpanSynthNoise, obs.SpanFFT, obs.SpanDetect, obs.SpanLease,
+	} {
 		if !names[want] {
 			t.Errorf("trace missing span %s (have %v)", want, names)
 		}

@@ -34,15 +34,31 @@ const (
 	MetricSynthesizeSeconds    = "ap.synthesize_seconds"
 	MetricFFTSeconds           = "ap.fft_seconds"
 	MetricDetectSeconds        = "ap.detect_seconds"
+
+	// Sub-stage split of the synthesize stage, recorded by the fast
+	// synthesis kernels (core.Config.DisableFastSynth off): clutter-template
+	// fill, target-tone generation (including FSA gain-envelope
+	// memoization), and the AWGN fold-in. The three sum to slightly less
+	// than MetricSynthesizeSeconds (the remainder is per-capture setup);
+	// the reference path records only the aggregate.
+	MetricSynthClutterSeconds = "ap.synthesize.clutter_seconds"
+	MetricSynthTargetsSeconds = "ap.synthesize.targets_seconds"
+	MetricSynthNoiseSeconds   = "ap.synthesize.noise_seconds"
 )
 
-// Canonical trace span names.
+// Canonical trace span names. The three ap.synthesize.* sub-spans nest
+// inside each fast-path ap.synthesize span (same capture, narrower
+// windows), so `milback-report -trace` attributes synthesis time to the
+// stage that actually spent it.
 const (
-	SpanSynthesize = "ap.synthesize"
-	SpanFFT        = "ap.fft"
-	SpanDetect     = "ap.detect"
-	SpanJob        = "proto.job"
-	SpanLease      = "capture.lease"
+	SpanSynthesize   = "ap.synthesize"
+	SpanSynthClutter = "ap.synthesize.clutter"
+	SpanSynthTargets = "ap.synthesize.targets"
+	SpanSynthNoise   = "ap.synthesize.noise"
+	SpanFFT          = "ap.fft"
+	SpanDetect       = "ap.detect"
+	SpanJob          = "proto.job"
+	SpanLease        = "capture.lease"
 )
 
 // DurationBuckets returns the shared bucket scheme for stage-timing

@@ -70,6 +70,15 @@ type Metrics struct {
 	FFT        Histogram
 	Detect     Histogram
 
+	// SynthClutter, SynthTargets and SynthNoise split the synthesize stage
+	// into its fast-kernel phases — clutter-template fill, target-tone
+	// generation and the noise fold-in. They are empty when the fast
+	// synthesis kernels are disabled (the reference path reports only the
+	// aggregate Synthesize).
+	SynthClutter Histogram
+	SynthTargets Histogram
+	SynthNoise   Histogram
+
 	// LeaseTime distributes how long operations held capture buffers
 	// (Acquire to Close). LeasesReclaimed counts the subset of closed leases
 	// that were leaked by their operation and reclaimed at the airtime-grant
@@ -112,6 +121,9 @@ func (nw *Network) Metrics() Metrics {
 		QueueWait:            histogramFromSnapshot(snap.Histograms[obs.MetricQueueWaitSeconds]),
 		JobDuration:          histogramFromSnapshot(snap.Histograms[obs.MetricJobDurationSeconds]),
 		Synthesize:           histogramFromSnapshot(snap.Histograms[obs.MetricSynthesizeSeconds]),
+		SynthClutter:         histogramFromSnapshot(snap.Histograms[obs.MetricSynthClutterSeconds]),
+		SynthTargets:         histogramFromSnapshot(snap.Histograms[obs.MetricSynthTargetsSeconds]),
+		SynthNoise:           histogramFromSnapshot(snap.Histograms[obs.MetricSynthNoiseSeconds]),
 		FFT:                  histogramFromSnapshot(snap.Histograms[obs.MetricFFTSeconds]),
 		Detect:               histogramFromSnapshot(snap.Histograms[obs.MetricDetectSeconds]),
 		LeaseTime:            histogramFromSnapshot(snap.Histograms[obs.MetricLeaseSeconds]),

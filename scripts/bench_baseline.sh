@@ -2,7 +2,9 @@
 # Regenerates a committed benchmark baseline: ns/op and (with -benchmem)
 # B/op + allocs/op for the hot pipelines — plan-cached FFT vs the seed
 # per-call implementation, the serial vs parallel §5.1 capture pipeline,
-# and the PR 3 pooled capture plane vs its allocate-everything reference.
+# the PR 3 pooled capture plane vs its allocate-everything reference, and
+# the PR 5 synthesis kernels (fast phasor path vs the per-sample-Sincos
+# reference, plus the burst-synthesis microbenchmark pair).
 # Run from the repository root:
 #
 #	./scripts/bench_baseline.sh [benchtime] [outfile]
@@ -18,7 +20,7 @@ BENCHTIME="${1:-300ms}"
 OUT="${2:-BENCH_seed.json}"
 
 go test -run '^$' \
-	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState' \
+	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState|SynthesizeChirpsMulti' \
 	-benchtime "$BENCHTIME" -benchmem . |
 	awk -v benchtime="$BENCHTIME" '
 	/^goos:/ { goos = $2 }

@@ -1,0 +1,61 @@
+#!/bin/sh
+# Compares two benchmark snapshots produced by bench_baseline.sh and fails
+# if the gating benchmark's ns/op regressed beyond the allowed percentage.
+# Run from the repository root:
+#
+#	./scripts/bench_compare.sh [OLD.json] [NEW.json]
+#
+# Defaults compare the committed PR 3 capture-plane baseline against the
+# PR 5 synthesis-kernel snapshot. The gate is the steady-state capture
+# benchmark (the full localize pipeline on warm pools); override with
+# GATE=BenchmarkName, and the threshold with MAX_REGRESS_PCT (default 10,
+# i.e. fail when new ns/op > old ns/op * 1.10). Benchmarks present in only
+# one snapshot are listed but not gated.
+set -eu
+
+OLD="${1:-BENCH_pr3.json}"
+NEW="${2:-BENCH_pr5.json}"
+GATE="${GATE:-BenchmarkCaptureSteadyState}"
+MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-10}"
+
+[ -f "$OLD" ] || { echo "bench_compare: missing baseline $OLD" >&2; exit 2; }
+[ -f "$NEW" ] || { echo "bench_compare: missing snapshot $NEW" >&2; exit 2; }
+
+awk -v oldfile="$OLD" -v newfile="$NEW" -v gate="$GATE" -v maxpct="$MAX_REGRESS_PCT" '
+function parse(file, tbl, ord,   line, name, ns, n) {
+	n = 0
+	while ((getline line < file) > 0) {
+		if (line !~ /"name":/) continue
+		if (!match(line, /"name": "[^"]+"/)) continue
+		name = substr(line, RSTART + 9, RLENGTH - 10)
+		if (!match(line, /"ns_per_op": [0-9.]+/)) continue
+		ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+		tbl[name] = ns
+		ord[++n] = name
+	}
+	close(file)
+	return n
+}
+BEGIN {
+	parse(oldfile, a, aord)
+	nb = parse(newfile, b, bord)
+	if (!(gate in a)) { printf "bench_compare: %s not in %s\n", gate, oldfile; exit 2 }
+	if (!(gate in b)) { printf "bench_compare: %s not in %s\n", gate, newfile; exit 2 }
+	printf "%-42s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+	for (i = 1; i <= nb; i++) {
+		name = bord[i]
+		if (name in a) {
+			pct = (b[name] - a[name]) / a[name] * 100
+			printf "%-42s %14d %14d %+8.1f%%\n", name, a[name], b[name], pct
+		} else {
+			printf "%-42s %14s %14d %9s\n", name, "-", b[name], "new"
+		}
+	}
+	gpct = (b[gate] - a[gate]) / a[gate] * 100
+	if (gpct > maxpct + 0) {
+		printf "FAIL: %s regressed %+.1f%% (limit +%s%%): %d -> %d ns/op\n", \
+			gate, gpct, maxpct, a[gate], b[gate]
+		exit 1
+	}
+	printf "OK: %s %d -> %d ns/op (%+.1f%%, limit +%s%%)\n", gate, a[gate], b[gate], gpct, maxpct
+}'
