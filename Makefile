@@ -62,8 +62,11 @@ bench:
 bench-baseline:
 	./scripts/bench_baseline.sh
 
-# Synthesis-kernel perf gate: the committed PR 5 snapshot's steady-state
-# capture ns/op must not regress more than 10% against the PR 3 baseline
-# (in practice it must be ~3x faster — see DESIGN.md §12).
+# Detect-path perf gate: the committed PR 6 snapshot's steady-state capture
+# ns/op must not regress more than 10% against the PR 5 baseline (in
+# practice it must be faster — see DESIGN.md §13), and on >= 4-core
+# machines the GOMAXPROCS=4 capture must show >= 2x parallel speedup over
+# the serial pin (the check self-skips on narrower machines, where the
+# pinned workers just time-slice the same cores).
 bench-compare:
-	./scripts/bench_compare.sh BENCH_pr3.json BENCH_pr5.json
+	./scripts/bench_compare.sh BENCH_pr5.json BENCH_pr6.json

@@ -499,6 +499,22 @@ func BenchmarkFFTBluestein1125PlanCached(b *testing.B) {
 	}
 }
 
+// BenchmarkRFFT2048 measures the real-input specialization at the same
+// size: a length-2048 real transform computed as one length-1024 complex
+// FFT plus an O(n) conjugate-symmetric unpack (DESIGN.md §13).
+func BenchmarkRFFT2048(b *testing.B) {
+	x := make([]float64, 2048)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 37 * float64(i) / 2048)
+	}
+	out := make([]complex128, 2048)
+	plan := dsp.PlanRFFT(2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Forward(out, x)
+	}
+}
+
 // benchCapture runs one synthesize+localize round, the §5.1 pipeline both
 // capture benchmarks share.
 func benchCapture(b *testing.B, a *ap.AP, nChirps int) {
@@ -591,6 +607,16 @@ func BenchmarkCaptureSteadyStateNoPool(b *testing.B) {
 func BenchmarkCaptureSteadyStateRefSynth(b *testing.B) {
 	cfg := core.DefaultConfig()
 	cfg.DisableFastSynth = true
+	benchCaptureSteadyState(b, cfg)
+}
+
+// BenchmarkCaptureSteadyStateRefFFT pins the same steady-state pipeline to
+// the FFT-then-subtract reference receive path (DisableFastFFT): the gap to
+// BenchmarkCaptureSteadyState is the fused background-subtraction transform
+// (DESIGN.md §13).
+func BenchmarkCaptureSteadyStateRefFFT(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.DisableFastFFT = true
 	benchCaptureSteadyState(b, cfg)
 }
 

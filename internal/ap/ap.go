@@ -143,6 +143,11 @@ type AP struct {
 	// clutterOff it is a wiring-time switch, not a per-capture one.
 	fastOff bool
 
+	// fastFFTOff disables the fused background-subtraction transform in
+	// subtractedSpectra (SetFastFFTEnabled) and restores the reference
+	// FFT-then-subtract path. Wiring-time, like fastOff.
+	fastFFTOff bool
+
 	// obs holds the AP's resolved stage instruments; nil (the default)
 	// means unobserved and the pipelines skip even the clock reads.
 	obs *apObs
@@ -160,6 +165,11 @@ type apObs struct {
 	clutterMiss  *obs.Counter
 	clutterInval *obs.Counter
 	tracer       *obs.Tracer
+
+	// fftReal times the fused subtraction-transform pass of the fast FFT
+	// path (DESIGN.md §13); its span nests inside the enclosing ap.fft span.
+	// The reference path reports only the aggregate fft stage.
+	fftReal *obs.Histogram
 
 	// Sub-stage split of the synthesize stage, recorded by the fast kernel
 	// path (DESIGN.md §12): clutter-template fill, target-tone generation
@@ -255,6 +265,7 @@ func (a *AP) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		clutterMiss:  reg.Counter(obs.MetricClutterMisses),
 		clutterInval: reg.Counter(obs.MetricClutterInvalidations),
 		tracer:       tr,
+		fftReal:      reg.Histogram(obs.MetricFFTRealSeconds, obs.DurationBuckets()),
 		synthClutter: reg.Histogram(obs.MetricSynthClutterSeconds, obs.DurationBuckets()),
 		synthTargets: reg.Histogram(obs.MetricSynthTargetsSeconds, obs.DurationBuckets()),
 		synthNoise:   reg.Histogram(obs.MetricSynthNoiseSeconds, obs.DurationBuckets()),
@@ -273,6 +284,19 @@ func (a *AP) SetFastSynthEnabled(on bool) { a.fastOff = !on }
 // FastSynthEnabled reports whether the phasor-recurrence kernels are
 // active.
 func (a *AP) FastSynthEnabled() bool { return !a.fastOff }
+
+// SetFastFFTEnabled toggles the fused background-subtraction transform
+// (enabled by default): subtractedSpectra computes FFT(w·(x_{k+1}−x_k))
+// directly instead of transforming every chirp and differencing spectra,
+// saving one FFT pair per capture and a full window-multiply pass per chirp.
+// By linearity the two forms agree within ~1 ulp per sample; the reference
+// path remains available for the differential tests (DESIGN.md §13). Like
+// the other switches this is wiring-time configuration, not safe to flip
+// concurrently with captures.
+func (a *AP) SetFastFFTEnabled(on bool) { a.fastFFTOff = !on }
+
+// FastFFTEnabled reports whether the fused subtraction transform is active.
+func (a *AP) FastFFTEnabled() bool { return !a.fastFFTOff }
 
 // SetClutterCacheEnabled toggles the clutter-path cache (enabled by
 // default). Disabling it restores derive-per-capture behavior for

@@ -1,0 +1,132 @@
+package ap
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rfsim"
+)
+
+// TestFastFFTDifferentialPerSample pins the fused background-subtraction
+// transform against the reference FFT-then-subtract path at ≤1e-9 per sample
+// (relative to the capture's RMS spectrum magnitude) across seeds. The two
+// differ only by floating-point association — FFT(w·(x₁−x₀)) versus
+// FFT(w·x₁)−FFT(w·x₀) — so the observed drift is ~1e-15.
+func TestFastFFTDifferentialPerSample(t *testing.T) {
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	if !a.FastFFTEnabled() {
+		t.Fatal("fast FFT should be enabled by default")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		tgt := pointTarget(rfsim.Point{X: 3, Y: 0.5}, 25)
+		frames := synth(t)(a.SynthesizeChirps(c, 8, tgt, nil, rfsim.NewNoiseSource(seed)))
+
+		fast, err := a.subtractedSpectra(frames)
+		if err != nil {
+			t.Fatalf("seed %d fast: %v", seed, err)
+		}
+		a.SetFastFFTEnabled(false)
+		ref, err := a.subtractedSpectra(frames)
+		a.SetFastFFTEnabled(true)
+		if err != nil {
+			t.Fatalf("seed %d ref: %v", seed, err)
+		}
+		if len(fast) != len(ref) {
+			t.Fatalf("seed %d: %d fast diffs vs %d ref", seed, len(fast), len(ref))
+		}
+		var scale float64
+		nSamp := 0
+		for k := range ref {
+			for m := 0; m < 2; m++ {
+				for _, v := range ref[k][m] {
+					re, im := real(v), imag(v)
+					scale += re*re + im*im
+					nSamp++
+				}
+			}
+		}
+		scale = math.Sqrt(scale / float64(nSamp))
+		worst := 0.0
+		for k := range ref {
+			for m := 0; m < 2; m++ {
+				for i := range ref[k][m] {
+					if d := cmplx.Abs(fast[k][m][i] - ref[k][m][i]); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+		if worst/scale > 1e-9 {
+			t.Errorf("seed %d: max per-sample deviation %g (rms %g) exceeds 1e-9 relative",
+				seed, worst, scale)
+		}
+		a.releaseDiffs(fast)
+		a.releaseDiffs(ref)
+	}
+}
+
+// TestFastFFTMixedLengthFallback: frames of unequal length cannot share one
+// analysis window, so the fast path must fall back to the reference path
+// rather than mis-window the difference.
+func TestFastFFTMixedLengthFallback(t *testing.T) {
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	tgt := pointTarget(rfsim.Point{X: 3}, 25)
+	frames := synth(t)(a.SynthesizeChirps(c, 4, tgt, nil, rfsim.NewNoiseSource(7)))
+	// Truncate one frame: lengths now differ across the capture.
+	frames[2].Rx[0] = frames[2].Rx[0][:len(frames[2].Rx[0])-5]
+	frames[2].Rx[1] = frames[2].Rx[1][:len(frames[2].Rx[1])-5]
+
+	fast, err := a.subtractedSpectra(frames)
+	if err != nil {
+		t.Fatalf("fast: %v", err)
+	}
+	a.SetFastFFTEnabled(false)
+	ref, err := a.subtractedSpectra(frames)
+	a.SetFastFFTEnabled(true)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	// Both took the reference path, so the results are bit-identical.
+	for k := range ref {
+		for m := 0; m < 2; m++ {
+			for i := range ref[k][m] {
+				if fast[k][m][i] != ref[k][m][i] {
+					t.Fatalf("diff %d ant %d bin %d: %v != %v",
+						k, m, i, fast[k][m][i], ref[k][m][i])
+				}
+			}
+		}
+	}
+	a.releaseDiffs(fast)
+	a.releaseDiffs(ref)
+}
+
+// TestFastFFTLocalizationAgreement runs the full §5.1 pipeline both ways and
+// requires the experiment-level outputs to agree far tighter than the
+// physics tolerances (range/velocity ≤1e-6).
+func TestFastFFTLocalizationAgreement(t *testing.T) {
+	c := DefaultConfig().LocalizationChirp
+	for seed := int64(1); seed <= 3; seed++ {
+		var got [2]LocalizationResult
+		for i, fastOn := range []bool{true, false} {
+			a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+			a.SetFastFFTEnabled(fastOn)
+			tgt := pointTarget(rfsim.Point{X: 3, Y: 0.5}, 25)
+			frames := synth(t)(a.SynthesizeChirps(c, 8, tgt, nil, rfsim.NewNoiseSource(seed)))
+			loc, err := a.ProcessLocalization(c, frames)
+			if err != nil {
+				t.Fatalf("seed %d fast=%v: %v", seed, fastOn, err)
+			}
+			got[i] = loc
+		}
+		if d := math.Abs(got[0].RangeM - got[1].RangeM); d > 1e-6 {
+			t.Errorf("seed %d: range differs by %g m", seed, d)
+		}
+		if d := math.Abs(got[0].AzimuthRad - got[1].AzimuthRad); d > 1e-6 {
+			t.Errorf("seed %d: azimuth differs by %g rad", seed, d)
+		}
+	}
+}

@@ -52,13 +52,17 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 	for k := range diffs {
 		spectra[k] = diffs[k][0]
 	}
-	// Doppler FFT down each range column.
+	// Doppler FFT down each range column. The column is a pooled scratch
+	// buffer, and the FFTShift that used to re-centre each column is folded
+	// into index arithmetic on the store: shifted bin v is raw bin
+	// (v + nd/2) mod nd, so no per-range-bin rotation copy is allocated.
 	nd := dsp.NextPowerOfTwo(len(spectra))
 	power := make([][]float64, nd)
 	for v := range power {
 		power[v] = make([]float64, half)
 	}
-	col := make([]complex128, nd)
+	col := a.getComplex(nd)
+	defer a.putComplex(col)
 	for r := 0; r < half; r++ {
 		for i := range col {
 			col[i] = 0
@@ -67,9 +71,9 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 			col[k] = spectra[k][r]
 		}
 		dsp.FFTInPlace(col)
-		shifted := dsp.FFTShift(col)
 		for v := 0; v < nd; v++ {
-			re, im := real(shifted[v]), imag(shifted[v])
+			cv := col[(v+nd/2)&(nd-1)]
+			re, im := real(cv), imag(cv)
 			power[v][r] = re*re + im*im
 		}
 	}
@@ -85,11 +89,15 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 	fEff := a.dopplerCarrier(c)
 	cri := a.cfg.ChirpIntervalS
 	for v := 0; v < nd; v++ {
-		fd := (float64(v) - float64(nd)/2) / (float64(nd) * cri) // Hz, after FFTShift
+		fd := (float64(v) - float64(nd)/2) / (float64(nd) * cri) // Hz, after the shift
 		// Offset by the toggling half-rate line and wrap into the
-		// unambiguous interval.
+		// half-open unambiguous interval (−1/(2·CRI), +1/(2·CRI)]; in axis
+		// terms (the sign flips below) that is [−v_nyq, +v_nyq). The lower
+		// wrap uses <= so slow-time frequency exactly −1/(2·CRI) wraps to
+		// +1/(2·CRI) — a bin reads −v_nyq, never +v_nyq, matching the
+		// half-open convention everywhere else in the pipeline.
 		fdNode := fd - 1/(2*cri)
-		for fdNode < -1/(2*cri) {
+		for fdNode <= -1/(2*cri) {
 			fdNode += 1 / cri
 		}
 		for fdNode > 1/(2*cri) {

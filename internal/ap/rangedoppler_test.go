@@ -96,6 +96,39 @@ func TestRangeDopplerSeparatesTwoNodes(t *testing.T) {
 	}
 }
 
+func TestVelocityAxisHalfOpenBoundary(t *testing.T) {
+	// The unambiguous velocity interval is half-open: [−v_nyq, +v_nyq). The
+	// boundary bin (shifted bin nd/2, where the wrap lands exactly on the
+	// slow-time Nyquist line) must read −v_nyq, never +v_nyq — the same
+	// convention FFTShift/BinFrequency use for the spectral Nyquist bin.
+	a := MustNew(DefaultConfig(), rfsim.DefaultIndoorScene())
+	c := a.Config().LocalizationChirp
+	tgt := pointTarget(rfsim.Point{X: 3}, 25)
+	frames := synth(t)(a.SynthesizeChirps(c, 16, tgt, nil, rfsim.NewNoiseSource(640)))
+	m, err := a.ComputeRangeDopplerMap(c, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vNyq := a.MaxUnambiguousVelocity(c)
+	res := m.VelocityResolution()
+	if res <= 0 {
+		t.Fatalf("velocity resolution %g", res)
+	}
+	for v, axis := range m.VelocityAxisMS {
+		if axis >= vNyq-res/2 {
+			t.Errorf("bin %d reads %.6f m/s: at or above +v_nyq=%.6f (closed upper end)", v, axis, vNyq)
+		}
+		if axis < -vNyq-res/2 {
+			t.Errorf("bin %d reads %.6f m/s: below -v_nyq=%.6f", v, axis, -vNyq)
+		}
+	}
+	nd := len(m.VelocityAxisMS)
+	boundary := m.VelocityAxisMS[nd/2]
+	if math.Abs(boundary-(-vNyq)) > 1e-9*vNyq {
+		t.Errorf("boundary bin %d reads %.9f m/s, want -v_nyq = %.9f", nd/2, boundary, -vNyq)
+	}
+}
+
 func TestRangeDopplerValidation(t *testing.T) {
 	a := MustNew(DefaultConfig(), nil)
 	c := a.Config().LocalizationChirp

@@ -44,14 +44,24 @@ func NoFastSynth() Option {
 	return func(p *Plane) { p.noFast = true }
 }
 
+// NoFastFFT disables the fused background-subtraction transform: the
+// receive pipeline windows and FFTs every frame, then subtracts consecutive
+// spectra, as the seed implementation did. The fast path transforms the
+// windowed frame differences directly (one FFT per pair instead of one per
+// frame). The differential tests compare the two modes.
+func NoFastFFT() Option {
+	return func(p *Plane) { p.noFastFFT = true }
+}
+
 // Plane is the shared capture pipeline of one AP. It is safe for
 // concurrent use in the sense the airtime scheduler guarantees — one
 // operation on the air at a time; individual Leases are not goroutine-safe.
 type Plane struct {
-	ap      *ap.AP
-	pool    *Pool
-	noCache bool
-	noFast  bool
+	ap        *ap.AP
+	pool      *Pool
+	noCache   bool
+	noFast    bool
+	noFastFFT bool
 
 	// Observability wiring (set by WithObserver, resolved once in
 	// NewPlane). obs is nil when unobserved; every instrument call is
@@ -95,6 +105,7 @@ func NewPlane(a *ap.AP, opts ...Option) *Plane {
 	a.SetBufferPool(bufferPool(p.pool))
 	a.SetClutterCacheEnabled(!p.noCache)
 	a.SetFastSynthEnabled(!p.noFast)
+	a.SetFastFFTEnabled(!p.noFastFFT)
 	return p
 }
 

@@ -2,6 +2,7 @@ package capture
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/ap"
@@ -74,7 +75,43 @@ func TestPoolClassCapBoundsRetention(t *testing.T) {
 		bufs[i] = make([]complex128, 16)
 		p.PutComplex(bufs[i])
 	}
-	if got := len(p.classes[16]); got != classCap {
+	if got := p.retainedComplex(16); got != classCap {
+		t.Fatalf("retained %d buffers, cap is %d", got, classCap)
+	}
+}
+
+func TestPoolShardedRecyclingUnderConcurrency(t *testing.T) {
+	// Hammer the pool from several goroutines: every Get must come back
+	// zeroed and exactly sized no matter which shard satisfied it, and the
+	// retention cap must hold across shards afterwards.
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 4*poolShards; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				buf := p.GetComplex(32)
+				if len(buf) != 32 {
+					t.Errorf("len = %d, want 32", len(buf))
+					return
+				}
+				for j, v := range buf {
+					if v != 0 {
+						t.Errorf("recycled buffer not zeroed at %d: %v", j, v)
+						return
+					}
+				}
+				buf[0] = complex(float64(i), 1) // dirty it before release
+				p.PutComplex(buf)
+				f := p.GetFloat64(16)
+				f[0] = 1
+				p.PutFloat64(f)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.retainedComplex(32); got > classCap {
 		t.Fatalf("retained %d buffers, cap is %d", got, classCap)
 	}
 }

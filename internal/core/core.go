@@ -59,6 +59,14 @@ type Config struct {
 	// differential tests pin at both the sample and the experiment level
 	// (DESIGN.md §12).
 	DisableFastSynth bool
+	// DisableFastFFT turns off the fused background-subtraction transform
+	// and restores the reference receive path: window and FFT every chirp
+	// frame, then subtract consecutive spectra. The fast path transforms the
+	// windowed frame differences directly — the same quantity by linearity
+	// of the DFT — using one FFT per consecutive pair instead of one per
+	// frame. The differential tests pin the two paths together at the sample
+	// and the experiment level (DESIGN.md §13).
+	DisableFastFFT bool
 	// DisableObservability turns off the stage-timing histograms, capture
 	// counters and span tracer. Instrumentation never touches the noise
 	// streams, so results are bit-identical either way; the switch exists for
@@ -126,6 +134,9 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	}
 	if cfg.DisableFastSynth {
 		opts = append(opts, capture.NoFastSynth())
+	}
+	if cfg.DisableFastFFT {
+		opts = append(opts, capture.NoFastFFT())
 	}
 	if !cfg.DisableObservability {
 		s.reg = obs.NewRegistry()

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rfsim"
+)
+
+// TestFastFFTDifferential is the experiment-level gate on the fused
+// background-subtraction transform (DESIGN.md §13): a system transforming
+// windowed frame differences must agree with one pinned to the
+// FFT-then-subtract reference path (DisableFastFFT) far inside the accuracy
+// tolerances the experiment tests already enforce, across seeds. The two
+// paths compute the same quantity by linearity of the DFT, so the drift is
+// pure floating-point association (~1e-15 per sample) and may not move an
+// estimate or flip a single bit decision.
+func TestFastFFTDifferential(t *testing.T) {
+	fast := MustNewSystem(DefaultConfig(), rfsim.DefaultIndoorScene())
+	refCfg := DefaultConfig()
+	refCfg.DisableFastFFT = true
+	ref := MustNewSystem(refCfg, rfsim.DefaultIndoorScene())
+
+	nf, err := fast.AddNode(rfsim.Point{X: 3, Y: 0.5}, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := ref.AddNode(rfsim.Point{X: 3, Y: 0.5}, -10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	payload := []byte("fast fft differential payload")
+	for seed := int64(1); seed <= 3; seed++ {
+		gotLoc, gotErr := fast.Localize(nf, seed)
+		wantLoc, wantErr := ref.Localize(nr, seed)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("seed %d: localize error mismatch: %v vs %v", seed, gotErr, wantErr)
+		}
+		if gotErr == nil {
+			if d := math.Abs(gotLoc.RangeM - wantLoc.RangeM); d > 1e-6 {
+				t.Errorf("seed %d: range drifted %.3g m (fast %.9f, ref %.9f)", seed, d, gotLoc.RangeM, wantLoc.RangeM)
+			}
+			if d := math.Abs(gotLoc.AzimuthRad - wantLoc.AzimuthRad); d > 1e-6 {
+				t.Errorf("seed %d: azimuth drifted %.3g rad", seed, d)
+			}
+			if d := math.Abs(gotLoc.OrientationDeg - wantLoc.OrientationDeg); d > 1e-3 {
+				t.Errorf("seed %d: orientation drifted %.3g deg (fast %.6f, ref %.6f)",
+					seed, d, gotLoc.OrientationDeg, wantLoc.OrientationDeg)
+			}
+		}
+
+		gotV, gotErr := fast.MeasureRadialVelocity(nf, 6, 32, seed)
+		wantV, wantErr := ref.MeasureRadialVelocity(nr, 6, 32, seed)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("seed %d: velocity error mismatch: %v vs %v", seed, gotErr, wantErr)
+		}
+		if gotErr == nil {
+			if d := math.Abs(gotV - wantV); d > 1e-6 {
+				t.Errorf("seed %d: velocity drifted %.3g m/s (fast %.9f, ref %.9f)", seed, d, gotV, wantV)
+			}
+		}
+
+		gotUp, gotErr := fast.Uplink(nf, 5, payload, 10e6, seed)
+		wantUp, wantErr := ref.Uplink(nr, 5, payload, 10e6, seed)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("seed %d: uplink error mismatch: %v vs %v", seed, gotErr, wantErr)
+		}
+		if gotUp.BitErrors != wantUp.BitErrors || gotUp.BitsSent != wantUp.BitsSent ||
+			!bytes.Equal(gotUp.Data, wantUp.Data) {
+			t.Errorf("seed %d: uplink diverged:\nfast %+v\nref  %+v", seed, gotUp, wantUp)
+		}
+
+		gotDown, gotErr := fast.Downlink(nf, 5, payload, 18e6, seed)
+		wantDown, wantErr := ref.Downlink(nr, 5, payload, 18e6, seed)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("seed %d: downlink error mismatch: %v vs %v", seed, gotErr, wantErr)
+		}
+		if gotDown.BitErrors != wantDown.BitErrors || gotDown.BitsSent != wantDown.BitsSent ||
+			!bytes.Equal(gotDown.Data, wantDown.Data) {
+			t.Errorf("seed %d: downlink diverged:\nfast %+v\nref  %+v", seed, gotDown, wantDown)
+		}
+	}
+}

@@ -59,16 +59,27 @@ func (c CFAR) Detect(x []float64, minSeparation int) ([]Peak, error) {
 		return nil, fmt.Errorf("dsp: CFAR needs at least %d bins, got %d", 2*span+1, len(x))
 	}
 	var hits []int
-	for i := span; i < len(x)-span; i++ {
+	for i := 0; i < len(x); i++ {
+		// Training windows are clamped to the profile bounds, so cells within
+		// span of either end fall back to one-sided (or truncated) training
+		// instead of being skipped outright. Interior cells see exactly the
+		// classic symmetric window. Without the clamp a node at very close
+		// range (beat peak near bin 0) would sit in a dead zone no detector
+		// pass ever examines.
 		var noise float64
 		n := 0
-		for j := i - span; j < i-c.Guard; j++ {
+		for j := max(0, i-span); j < i-c.Guard; j++ {
 			noise += x[j]
 			n++
 		}
-		for j := i + c.Guard + 1; j <= i+span; j++ {
+		for j := i + c.Guard + 1; j <= min(len(x)-1, i+span); j++ {
 			noise += x[j]
 			n++
+		}
+		if n == 0 {
+			// Unreachable under the minimum-length validation above (a cell
+			// cannot be within Guard of both ends at once); kept as a guard.
+			continue
 		}
 		noise /= float64(n)
 		if noise <= 0 {
@@ -84,9 +95,10 @@ func (c CFAR) Detect(x []float64, minSeparation int) ([]Peak, error) {
 		}
 	}
 	// Keep only local maxima among hits, then merge within minSeparation.
+	// Endpoint cells count as maxima against their single neighbour.
 	var peaks []Peak
 	for _, i := range hits {
-		if i > 0 && i < len(x)-1 && x[i] >= x[i-1] && x[i] >= x[i+1] {
+		if (i == 0 || x[i] >= x[i-1]) && (i == len(x)-1 || x[i] >= x[i+1]) {
 			peaks = append(peaks, refinePeak(x, i))
 		}
 	}

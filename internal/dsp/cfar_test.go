@@ -99,6 +99,97 @@ func TestCFARValidation(t *testing.T) {
 	}
 }
 
+func TestCFARDetectsTargetNearEdge(t *testing.T) {
+	// Regression: cells within Guard+Train bins of either end used to be
+	// skipped outright, so a node at very close range (beat peak near bin 0)
+	// was silently undetectable. One-sided training at the edges must find
+	// targets inside the old dead zone.
+	rng := rand.New(rand.NewSource(6))
+	c := DefaultCFAR()
+	span := c.Guard + c.Train // 20 with the default config
+	for _, target := range []int{0, 3, span - 1} {
+		for _, mirror := range []bool{false, true} {
+			n := 512
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = -math.Log(1 - rng.Float64())
+			}
+			bin := target
+			if mirror {
+				bin = n - 1 - target
+			}
+			x[bin] += 200
+			if bin > 0 {
+				x[bin-1] += 80
+			}
+			if bin < n-1 {
+				x[bin+1] += 80
+			}
+			peaks, err := c.Detect(x, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, p := range peaks {
+				if abs(p.Index-bin) <= 1 {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("target at bin %d (old dead zone, span %d) not detected: %+v",
+					bin, span, peaks)
+			}
+		}
+	}
+}
+
+func TestCFARInteriorUnchangedByEdgeTraining(t *testing.T) {
+	// The edge fallback must not disturb interior cells: a profile whose only
+	// feature sits well inside the span still yields exactly one detection at
+	// the same refined peak.
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = 1
+	}
+	x[99], x[100], x[101] = 60, 300, 60
+	peaks, err := DefaultCFAR().Detect(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 1 || peaks[0].Index != 100 {
+		t.Fatalf("interior detection changed: %+v", peaks)
+	}
+}
+
+func TestCFARAllZeroProfile(t *testing.T) {
+	// All-zero profile: no energy anywhere, no detections — including at the
+	// newly-tested edge cells whose training windows are one-sided.
+	peaks, err := DefaultCFAR().Detect(make([]float64, 256), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peaks) != 0 {
+		t.Fatalf("all-zero profile produced detections: %+v", peaks)
+	}
+}
+
+func TestCFARSinglePeakAtEdge(t *testing.T) {
+	// Zero floor with the only energetic bin at each extreme end: the
+	// endpoint must be detected (local-maximum test against its single
+	// neighbour) and refined without reading out of bounds.
+	for _, bin := range []int{0, 255} {
+		x := make([]float64, 256)
+		x[bin] = 5
+		peaks, err := DefaultCFAR().Detect(x, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peaks) != 1 || peaks[0].Index != bin {
+			t.Fatalf("edge bin %d: got %+v", bin, peaks)
+		}
+	}
+}
+
 func TestCFARZeroFloor(t *testing.T) {
 	// All-zero floor with one energetic bin: still detected.
 	x := make([]float64, 256)

@@ -79,8 +79,16 @@ func fftInPlace(x []complex128, inverse bool) {
 }
 
 // FFTReal transforms a real-valued signal, returning the full complex
-// spectrum of the same length.
+// spectrum of the same length. Power-of-two lengths route through the cached
+// real-input split plan (PlanRFFT), which does roughly half the butterfly
+// work of the complex path; other lengths promote to complex128 and use the
+// general FFT.
 func FFTReal(x []float64) []complex128 {
+	if n := len(x); n >= 2 && IsPowerOfTwo(n) {
+		out := make([]complex128, n)
+		PlanRFFT(n).Forward(out, x)
+		return out
+	}
 	c := make([]complex128, len(x))
 	for i, v := range x {
 		c[i] = complex(v, 0)
@@ -133,6 +141,14 @@ func BinFrequency(k, n int, fs float64) float64 {
 // f (cycles per sample, 0 <= f < 1) using the Goertzel recurrence. It is the
 // tool of choice when only a handful of bins are needed, e.g. per-tone power
 // measurement in the OAQFM receiver.
+//
+// Note the returned complex value carries a phase factor of exp(2πi·f·N)
+// relative to the textbook DFT bin Σ x[n]·exp(−2πi·f·n) — the recurrence
+// references phase to the end of the window rather than the first sample.
+// (At integer bins f = k/N the factor is exactly 1, so FFT-bin comparisons
+// at integer bins agree; at fractional f they differ in phase only.)
+// Magnitude, and hence GoertzelPower, is unaffected; callers comparing phase
+// against an FFT bin at fractional f must divide the factor out.
 func Goertzel(x []float64, f float64) complex128 {
 	omega := 2 * math.Pi * f
 	sin, cos := math.Sincos(omega)

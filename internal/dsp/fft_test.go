@@ -213,6 +213,57 @@ func TestBinFrequency(t *testing.T) {
 	if got := BinFrequency(99, n, fs); math.Abs(got+10) > 1e-12 {
 		t.Errorf("bin 99 = %g, want -10", got)
 	}
+	// Even-length Nyquist bin n/2 reads as +fs/2 (the k > n/2 test excludes
+	// it from the negative wrap).
+	if got := BinFrequency(50, n, fs); math.Abs(got-500) > 1e-12 {
+		t.Errorf("Nyquist bin = %g, want +500", got)
+	}
+}
+
+func TestBinFrequencyOddLength(t *testing.T) {
+	// Odd lengths have no Nyquist bin: k = (n-1)/2 is the highest positive
+	// frequency and k = (n+1)/2 the lowest negative one, symmetric about
+	// fs/2 with no shared endpoint.
+	fs := 1000.0
+	n := 5
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, 0},
+		{1, 200},
+		{2, 400},  // (n-1)/2: largest positive
+		{3, -400}, // (n+1)/2: wraps negative
+		{4, -200},
+	}
+	for _, c := range cases {
+		if got := BinFrequency(c.k, n, fs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("n=5 bin %d = %g, want %g", c.k, got, c.want)
+		}
+	}
+}
+
+func TestFFTShiftBinFrequencyConsistency(t *testing.T) {
+	// For odd lengths the FFTShift rotation and BinFrequency's
+	// negative-frequency mapping share one convention exactly: after
+	// shifting, frequencies read monotonically from most-negative to
+	// most-positive. (Even lengths have the inherent ±Nyquist ambiguity:
+	// BinFrequency reads bin n/2 as +fs/2 while FFTShift places it at the
+	// most-negative slot — consumers that need a half-open axis, like the
+	// range-Doppler map, must resolve it themselves.)
+	for _, n := range []int{5, 9, 17} {
+		x := make([]complex128, n)
+		for k := range x {
+			x[k] = complex(BinFrequency(k, n, 1), 0)
+		}
+		shifted := FFTShift(x)
+		for i := 1; i < n; i++ {
+			if real(shifted[i]) <= real(shifted[i-1]) {
+				t.Errorf("n=%d: shifted frequencies not increasing: %v", n, shifted)
+				break
+			}
+		}
+	}
 }
 
 func TestGoertzelMatchesFFTBin(t *testing.T) {

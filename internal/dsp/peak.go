@@ -1,7 +1,6 @@
 package dsp
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -41,8 +40,11 @@ func MaxPeak(x []float64) Peak {
 }
 
 // MaxPeakInRange finds the maximum of x restricted to [lo, hi) and refines
-// it. Bounds are clamped to the slice.
-func MaxPeakInRange(x []float64, lo, hi int) Peak {
+// it. Bounds are clamped to the slice. The boolean reports whether the
+// clamped range was non-empty; callers pass computed bounds, so an empty
+// window is an answerable condition ("nothing there"), not a programming
+// error worth a panic.
+func MaxPeakInRange(x []float64, lo, hi int) (Peak, bool) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -50,7 +52,7 @@ func MaxPeakInRange(x []float64, lo, hi int) Peak {
 		hi = len(x)
 	}
 	if lo >= hi {
-		panic(fmt.Sprintf("dsp: MaxPeakInRange empty range [%d,%d)", lo, hi))
+		return Peak{}, false
 	}
 	best := lo
 	for i := lo + 1; i < hi; i++ {
@@ -58,7 +60,7 @@ func MaxPeakInRange(x []float64, lo, hi int) Peak {
 			best = i
 		}
 	}
-	return refinePeak(x, best)
+	return refinePeak(x, best), true
 }
 
 func refinePeak(x []float64, i int) Peak {

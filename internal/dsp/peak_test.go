@@ -83,21 +83,25 @@ func TestMaxPeakEdges(t *testing.T) {
 
 func TestMaxPeakInRange(t *testing.T) {
 	x := []float64{10, 1, 2, 8, 3, 1}
-	p := MaxPeakInRange(x, 1, len(x))
-	if p.Index != 3 {
-		t.Fatalf("peak in range = %d, want 3", p.Index)
+	p, ok := MaxPeakInRange(x, 1, len(x))
+	if !ok || p.Index != 3 {
+		t.Fatalf("peak in range = %d (ok=%v), want 3", p.Index, ok)
 	}
 	// Clamping.
-	p = MaxPeakInRange(x, -5, 100)
-	if p.Index != 0 {
-		t.Fatalf("clamped peak = %d, want 0", p.Index)
+	p, ok = MaxPeakInRange(x, -5, 100)
+	if !ok || p.Index != 0 {
+		t.Fatalf("clamped peak = %d (ok=%v), want 0", p.Index, ok)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty range did not panic")
+	// Empty ranges — literal, inverted, and empty-after-clamping — report
+	// !ok instead of panicking: callers pass computed bounds.
+	for _, r := range [][2]int{{4, 4}, {5, 2}, {17, 99}, {-3, 0}} {
+		if _, ok := MaxPeakInRange(x, r[0], r[1]); ok {
+			t.Errorf("MaxPeakInRange(x, %d, %d) reported ok on empty range", r[0], r[1])
 		}
-	}()
-	MaxPeakInRange(x, 4, 4)
+	}
+	if _, ok := MaxPeakInRange(nil, 0, 10); ok {
+		t.Error("MaxPeakInRange(nil, ...) reported ok")
+	}
 }
 
 func TestFindPeaks(t *testing.T) {

@@ -1,0 +1,115 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sync"
+)
+
+// RFFTPlan is the real-input specialization of FFTPlan: a length-N transform
+// of a real signal computed through one length-N/2 complex FFT (the classic
+// even/odd packing split), which roughly halves the butterfly work relative
+// to promoting the signal to complex128 and running the full-length plan.
+// The plan reuses the cached length-N/2 radix-2 FFTPlan, precomputes the
+// split-reconstruction twiddles once, and recycles its packing buffer
+// through a pool, so repeated transforms of the same size allocate nothing.
+//
+// Like FFTPlan, an RFFTPlan is immutable after construction and safe for
+// concurrent use; PlanRFFT hands every caller the same cached plan.
+type RFFTPlan struct {
+	n   int
+	sub *FFTPlan // shared complex plan for length n/2
+	// tw[k] = exp(-2πik/n), k < n/2 — the reconstruction twiddles that
+	// recombine the even/odd half-spectra into the full-length DFT.
+	tw []complex128
+	// scratch recycles the length-n/2 packing buffers.
+	scratch sync.Pool
+}
+
+// rfftCache maps size -> *RFFTPlan, mirroring the complex planCache.
+var rfftCache sync.Map
+
+// PlanRFFT returns the shared real-input transform plan for length n,
+// building and caching it on first use. n must be a power of two >= 2 (the
+// split halves the length, so an odd or non-power-of-two size has no radix-2
+// sub-plan); other sizes panic — callers with arbitrary lengths should use
+// FFTReal, which falls back to the complex path.
+func PlanRFFT(n int) *RFFTPlan {
+	if n < 2 || !IsPowerOfTwo(n) {
+		panic(fmt.Sprintf("dsp: PlanRFFT requires a power-of-two length >= 2, got %d", n))
+	}
+	if p, ok := rfftCache.Load(n); ok {
+		return p.(*RFFTPlan)
+	}
+	p := newRFFTPlan(n)
+	actual, _ := rfftCache.LoadOrStore(n, p)
+	return actual.(*RFFTPlan)
+}
+
+func newRFFTPlan(n int) *RFFTPlan {
+	half := n / 2
+	p := &RFFTPlan{n: n, sub: PlanFFT(half)}
+	p.tw = make([]complex128, half)
+	for k := 0; k < half; k++ {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(c, s)
+	}
+	p.scratch.New = func() any {
+		buf := make([]complex128, half)
+		return &buf
+	}
+	return p
+}
+
+// Size returns the transform length the plan serves.
+func (p *RFFTPlan) Size() int { return p.n }
+
+// Forward computes the length-N DFT of the real signal x into dst, with the
+// same sign convention as FFT: X[k] = Σ x[m]·exp(-2πikm/N). dst must have
+// length N; x may be shorter, in which case the remaining samples are treated
+// as zeros (zero-padded transforms — the chirp frames end well short of the
+// configured FFT size — skip the padding work entirely). The output is the
+// full conjugate-symmetric spectrum, so existing consumers of FFT/FFTReal
+// can switch without re-indexing.
+func (p *RFFTPlan) Forward(dst []complex128, x []float64) {
+	n, half := p.n, p.n/2
+	if len(dst) != n {
+		panic(fmt.Sprintf("dsp: RFFT plan for length %d given dst of length %d", n, len(dst)))
+	}
+	if len(x) > n {
+		panic(fmt.Sprintf("dsp: RFFT plan for length %d given %d samples", n, len(x)))
+	}
+	zPtr := p.scratch.Get().(*[]complex128)
+	z := *zPtr
+	// Pack consecutive sample pairs into one complex signal:
+	// z[m] = x[2m] + i·x[2m+1]. Samples beyond len(x) are zero padding.
+	pairs := len(x) / 2
+	for m := 0; m < pairs; m++ {
+		z[m] = complex(x[2*m], x[2*m+1])
+	}
+	if len(x)%2 == 1 {
+		z[pairs] = complex(x[len(x)-1], 0)
+		pairs++
+	}
+	for m := pairs; m < half; m++ {
+		z[m] = 0
+	}
+	p.sub.Forward(z)
+	// Unpack: with E/O the DFTs of the even/odd sample streams,
+	// E[k] = (Z[k] + conj(Z[half-k]))/2, O[k] = (Z[k] - conj(Z[half-k]))/(2i),
+	// and X[k] = E[k] + W_N^k·O[k]; the upper half follows from conjugate
+	// symmetry of a real signal's spectrum.
+	dst[0] = complex(real(z[0])+imag(z[0]), 0)
+	dst[half] = complex(real(z[0])-imag(z[0]), 0)
+	for k := 1; k < half; k++ {
+		zk := z[k]
+		zc := cmplx.Conj(z[half-k])
+		e := (zk + zc) * complex(0.5, 0)
+		o := (zk - zc) * complex(0, -0.5)
+		xk := e + p.tw[k]*o
+		dst[k] = xk
+		dst[n-k] = cmplx.Conj(xk)
+	}
+	p.scratch.Put(zPtr)
+}

@@ -1,0 +1,166 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// maxSpectrumError returns the largest per-bin |got-want| normalized by the
+// RMS magnitude of want, so the tolerance reads as "relative to signal
+// scale" rather than absolute.
+func maxSpectrumError(got, want []complex128) float64 {
+	scale := 0.0
+	for _, v := range want {
+		scale += real(v)*real(v) + imag(v)*imag(v)
+	}
+	scale = math.Sqrt(scale / float64(len(want)))
+	if scale == 0 {
+		scale = 1
+	}
+	worst := 0.0
+	for i := range want {
+		if d := cmplx.Abs(got[i] - want[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst / scale
+}
+
+func refComplexFFT(x []float64, n int) []complex128 {
+	c := make([]complex128, n)
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+func TestRFFTMatchesComplexFFT(t *testing.T) {
+	// The split-radix real transform must agree with the complex reference
+	// path at ≤1e-9 per sample across sizes, including the smallest legal
+	// plan and the pipeline's production size.
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{2, 4, 8, 64, 256, 1024, 2048} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]complex128, n)
+		PlanRFFT(n).Forward(got, x)
+		want := refComplexFFT(x, n)
+		if err := maxSpectrumError(got, want); err > 1e-9 {
+			t.Errorf("n=%d: max relative error %g > 1e-9", n, err)
+		}
+	}
+}
+
+func TestRFFTZeroPaddedInput(t *testing.T) {
+	// Frames shorter than the FFT size (the production case: ~1250 beat
+	// samples into a 2048-bin transform) are implicitly zero-padded; odd
+	// sample counts exercise the packing tail.
+	rng := rand.New(rand.NewSource(12))
+	n := 2048
+	for _, m := range []int{0, 1, 7, 1024, 1249, 1250, 2047, 2048} {
+		x := make([]float64, m)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]complex128, n)
+		PlanRFFT(n).Forward(got, x)
+		want := refComplexFFT(x, n)
+		if err := maxSpectrumError(got, want); err > 1e-9 {
+			t.Errorf("m=%d into n=%d: max relative error %g > 1e-9", m, n, err)
+		}
+	}
+}
+
+func TestRFFTConjugateSymmetryAndSpecialBins(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 512
+	x := make([]float64, n)
+	sum, alt := 0.0, 0.0
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		sum += x[i]
+		if i%2 == 0 {
+			alt += x[i]
+		} else {
+			alt -= x[i]
+		}
+	}
+	X := make([]complex128, n)
+	PlanRFFT(n).Forward(X, x)
+	// DC and Nyquist are purely real with closed-form values.
+	if imag(X[0]) != 0 || math.Abs(real(X[0])-sum) > 1e-9 {
+		t.Errorf("DC bin = %v, want %g (real)", X[0], sum)
+	}
+	if imag(X[n/2]) != 0 || math.Abs(real(X[n/2])-alt) > 1e-9 {
+		t.Errorf("Nyquist bin = %v, want %g (real)", X[n/2], alt)
+	}
+	for k := 1; k < n/2; k++ {
+		if d := cmplx.Abs(X[n-k] - cmplx.Conj(X[k])); d > 1e-12 {
+			t.Errorf("bin %d breaks conjugate symmetry by %g", k, d)
+		}
+	}
+}
+
+func TestRFFTPlanCachedAndReused(t *testing.T) {
+	if PlanRFFT(256) != PlanRFFT(256) {
+		t.Fatal("PlanRFFT(256) not cached")
+	}
+	if got := PlanRFFT(256).Size(); got != 256 {
+		t.Fatalf("Size = %d, want 256", got)
+	}
+}
+
+func TestRFFTPlanRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{-4, 0, 1, 3, 6, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PlanRFFT(%d) did not panic", n)
+				}
+			}()
+			PlanRFFT(n)
+		}()
+	}
+	// Mismatched destination and oversized input panic too.
+	p := PlanRFFT(8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short dst did not panic")
+			}
+		}()
+		p.Forward(make([]complex128, 4), make([]float64, 8))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized input did not panic")
+			}
+		}()
+		p.Forward(make([]complex128, 8), make([]float64, 9))
+	}()
+}
+
+func TestFFTRealRoutesThroughRFFT(t *testing.T) {
+	// FFTReal must agree with the complex reference for both the pow-2 fast
+	// route and the Bluestein fallback.
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 2, 100, 128, 1125} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := FFTReal(x)
+		want := refComplexFFT(x, n)
+		if err := maxSpectrumError(got, want); err > 1e-9 {
+			t.Errorf("FFTReal n=%d: max relative error %g > 1e-9", n, err)
+		}
+	}
+	if out := FFTReal(nil); len(out) != 0 {
+		t.Errorf("FFTReal(nil) = %v, want empty", out)
+	}
+}

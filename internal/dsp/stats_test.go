@@ -110,6 +110,59 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+func TestMedianMatchesPercentileExactly(t *testing.T) {
+	// Median now runs on quickselect; it must stay bit-identical to the
+	// sort-based Percentile(x, 50) it replaced, including the interpolation
+	// arithmetic on even lengths — the detect path's noise-floor threshold
+	// feeds off this value, so even 1-ulp drift would show up in the
+	// pooled-vs-reference bit-identity tests upstream.
+	if m := Median([]float64{1, 2, 3, 4}); math.Abs(m-2.5) > 0 {
+		t.Fatalf("Median(1..4) = %g, want 2.5 exactly", m)
+	}
+	if m := Median([]float64{7}); m != 7 {
+		t.Fatalf("Median single = %g, want 7", m)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := make([]float64, n)
+		for i := range x {
+			// Mix magnitudes and exact duplicates to exercise the
+			// three-way partition's equal-run handling.
+			if rng.Intn(4) == 0 && i > 0 {
+				x[i] = x[rng.Intn(i)]
+			} else {
+				x[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+			}
+		}
+		orig := make([]float64, n)
+		copy(orig, x)
+		got := Median(x)
+		want := Percentile(x, 50)
+		if got != want { // bit-identical, no tolerance
+			return false
+		}
+		for i := range x { // input untouched
+			if x[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMedianPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Median(nil) did not panic")
+		}
+	}()
+	Median(nil)
+}
+
 func TestEmpiricalCDF(t *testing.T) {
 	x := []float64{3, 1, 2}
 	cdf := EmpiricalCDF(x)

@@ -117,6 +117,18 @@ type FSA struct {
 	// leaving every computed value bit-identical.
 	taper    []float64
 	taperSum float64
+
+	// Derived constants hoisted out of the gain hot path. peakGain is
+	// PeakGainDBi()'s value; the three linear-domain factors let
+	// ReflectionAmplitudeWithModes run without a single Log10/Pow per call:
+	// ampPeak = 10^(peakGain/10) is the round-trip boresight amplitude,
+	// ampAbs = 10^(-AbsorptionReturnLossDB/20) the absorptive-mode residual,
+	// and afFloor = 10^((BacklobeFloorDBi-peakGain)/20) the array-factor
+	// level at which the backlobe floor engages.
+	peakGain float64
+	ampPeak  float64
+	ampAbs   float64
+	afFloor  float64
 }
 
 // New builds an FSA from the config. It returns an error for inconsistent
@@ -131,6 +143,10 @@ func New(cfg Config) (*FSA, error) {
 		f.taper[k] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(k)/float64(cfg.Elements-1))
 		f.taperSum += f.taper[k]
 	}
+	f.peakGain = 10*math.Log10(float64(cfg.Elements)) + cfg.ElementGainDBi
+	f.ampPeak = math.Pow(10, f.peakGain/10)
+	f.ampAbs = math.Pow(10, -cfg.AbsorptionReturnLossDB/20)
+	f.afFloor = math.Pow(10, (cfg.BacklobeFloorDBi-f.peakGain)/20)
 	return f, nil
 }
 
@@ -218,9 +234,9 @@ func (f *FSA) FrequencyForAngle(p Port, angleDeg float64) float64 {
 }
 
 // PeakGainDBi returns the boresight gain of one beam:
-// 10 log10(N) + element gain.
+// 10 log10(N) + element gain. The value is computed once at construction.
 func (f *FSA) PeakGainDBi() float64 {
-	return 10*math.Log10(float64(f.cfg.Elements)) + f.cfg.ElementGainDBi
+	return f.peakGain
 }
 
 // GainDBi returns the gain (dBi) of the given port at frequency fHz toward
@@ -244,15 +260,21 @@ func (f *FSA) GainDBi(p Port, fHz, angleDeg float64) float64 {
 
 // taperedArrayFactor returns the normalized |Σ w_n exp(jnψ)| magnitude for a
 // raised-cosine (Hamming-weighted) element taper: unity at ψ = 0, first
-// sidelobe ≈ −40 dB, main lobe ≈ 1.5× the uniform width. The weights come
-// from the cache New fills; the accumulation order matches the historical
-// per-call form, so results are bit-identical.
+// sidelobe ≈ −40 dB, main lobe ≈ 1.5× the uniform width. The per-element
+// phasor exp(jnψ) is generated by complex recurrence from a single Sincos —
+// one transcendental per lookup instead of one per element. The recurrence's
+// rounding drift over the array is ~1 ulp per element (≈1e-15 relative for
+// realistic element counts), far inside every consumer's tolerance; at ψ = 0
+// the rotation factor is exactly 1, so the boresight value stays exactly
+// unity.
 func (f *FSA) taperedArrayFactor(psi float64) float64 {
+	s, c := math.Sincos(psi)
+	phRe, phIm := 1.0, 0.0
 	var re, im float64
-	for k, w := range f.taper {
-		s, c := math.Sincos(psi * float64(k))
-		re += w * c
-		im += w * s
+	for _, w := range f.taper {
+		re += w * phRe
+		im += w * phIm
+		phRe, phIm = phRe*c-phIm*s, phRe*s+phIm*c
 	}
 	af := math.Hypot(re, im) / f.taperSum
 	if af < 1e-9 {
@@ -313,11 +335,34 @@ func (f *FSA) ReflectionAmplitude(fHz, angleDeg float64) float64 {
 // explicit pair of port modes (A, B) instead of the stored switch state.
 // It is the concurrency-safe form for callers that sweep hypothetical
 // switching patterns (e.g. per-chirp toggling) without serializing on the
-// shared FSA.
+// shared FSA. It runs entirely in the linear amplitude domain off constants
+// hoisted at construction — zero Log10/Pow per call — which matters because
+// the synthesis kernels evaluate it once per (switch state, frequency-grid
+// point) when filling their gain-curve memos.
 func (f *FSA) ReflectionAmplitudeWithModes(modeA, modeB Mode, fHz, angleDeg float64) float64 {
-	aA := math.Pow(10, f.ReflectionGainWithModeDBi(PortA, modeA, fHz, angleDeg)/20)
-	aB := math.Pow(10, f.ReflectionGainWithModeDBi(PortB, modeB, fHz, angleDeg)/20)
-	return aA + aB
+	sinAngle := math.Sin(rfsim.DegToRad(angleDeg))
+	return f.reflectionAmpPort(PortA, modeA, fHz, sinAngle) +
+		f.reflectionAmpPort(PortB, modeB, fHz, sinAngle)
+}
+
+// reflectionAmpPort is one port's linear voltage contribution to the
+// round-trip reflection: with g = max(peakGain + 20·log10(af), floor) the
+// two-way amplitude 10^(2g/20) collapses to max(af, afFloor)²·ampPeak, times
+// the residual-return factor when the port is absorptive. Algebraically
+// identical to exponentiating ReflectionGainWithModeDBi; numerically within
+// ~1 ulp of it.
+func (f *FSA) reflectionAmpPort(p Port, m Mode, fHz, sinAngle float64) float64 {
+	beam := f.BeamAngleDeg(p, fHz)
+	psi := math.Pi * (sinAngle - math.Sin(rfsim.DegToRad(beam)))
+	af := f.taperedArrayFactor(psi)
+	if af < f.afFloor {
+		af = f.afFloor
+	}
+	amp := af * af * f.ampPeak
+	if m == Absorptive {
+		amp *= f.ampAbs
+	}
+	return amp
 }
 
 // PortCouplingDBi returns the gain with which a signal at fHz arriving from

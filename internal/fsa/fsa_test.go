@@ -304,6 +304,57 @@ func TestFig10ShapeSevenFrequencies(t *testing.T) {
 	}
 }
 
+func TestTaperedArrayFactorRecurrenceAccuracy(t *testing.T) {
+	// The phasor-recurrence array factor must track the direct per-element
+	// Sincos evaluation to ~1 ulp per element. 1e-12 relative is orders of
+	// magnitude looser than the observed drift and orders tighter than any
+	// consumer's tolerance.
+	f := Default()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 500; i++ {
+		psi := (rng.Float64()*2 - 1) * 2 * math.Pi
+		var re, im float64
+		for k, w := range f.taper {
+			s, c := math.Sincos(psi * float64(k))
+			re += w * c
+			im += w * s
+		}
+		want := math.Hypot(re, im) / f.taperSum
+		if want < 1e-9 {
+			want = 1e-9
+		}
+		got := f.taperedArrayFactor(psi)
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("psi=%g: recurrence %g vs direct %g", psi, got, want)
+		}
+	}
+	// Boresight stays exactly unity (the recurrence rotation is exactly 1).
+	if af := f.taperedArrayFactor(0); af != 1 {
+		t.Fatalf("array factor at psi=0 = %g, want exactly 1", af)
+	}
+}
+
+func TestReflectionAmplitudeMatchesLogDomainForm(t *testing.T) {
+	// The linear-domain fast path must agree with exponentiating the dB-form
+	// reflection gains (the historical implementation) to ~1 ulp.
+	f := Default()
+	rng := rand.New(rand.NewSource(22))
+	modes := []Mode{Reflective, Absorptive}
+	for i := 0; i < 300; i++ {
+		fHz := 26.5e9 + rng.Float64()*3e9
+		ang := -60 + rng.Float64()*120
+		ma := modes[rng.Intn(2)]
+		mb := modes[rng.Intn(2)]
+		want := math.Pow(10, f.ReflectionGainWithModeDBi(PortA, ma, fHz, ang)/20) +
+			math.Pow(10, f.ReflectionGainWithModeDBi(PortB, mb, fHz, ang)/20)
+		got := f.ReflectionAmplitudeWithModes(ma, mb, fHz, ang)
+		if math.Abs(got-want) > 1e-12*want {
+			t.Fatalf("f=%g ang=%g modes=%v/%v: linear %g vs log-domain %g",
+				fHz, ang, ma, mb, got, want)
+		}
+	}
+}
+
 func TestReflectionWithModesMatchesStatefulForm(t *testing.T) {
 	// The explicit-modes queries must agree exactly with setting the switch
 	// state and calling the stateful forms — they are the same computation,

@@ -93,8 +93,11 @@ func (n *Node) peakSeparation(v []float64, fs float64, c waveform.Chirp) (float6
 		return 0, fmt.Errorf("trace too short (%d samples)", len(v))
 	}
 	half := len(v) / 2
-	up := dsp.MaxPeakInRange(v, 0, half)
-	down := dsp.MaxPeakInRange(v, half, len(v))
+	up, okUp := dsp.MaxPeakInRange(v, 0, half)
+	down, okDown := dsp.MaxPeakInRange(v, half, len(v))
+	if !okUp || !okDown {
+		return 0, fmt.Errorf("trace halves empty (%d samples)", len(v))
+	}
 	// Peak must carry real signal, not just noise: demand contrast over the
 	// trace median (which sits at the pattern's gain floor) and an absolute
 	// level several detector noise sigmas above zero.

@@ -35,6 +35,13 @@ const (
 	MetricFFTSeconds           = "ap.fft_seconds"
 	MetricDetectSeconds        = "ap.detect_seconds"
 
+	// Sub-stage of the fft stage, recorded by the fused
+	// background-subtraction transform (core.Config.DisableFastFFT off): the
+	// windowed consecutive-difference FFT pass itself, excluding validation
+	// and buffer management. The reference FFT-then-subtract path records
+	// only the aggregate MetricFFTSeconds.
+	MetricFFTRealSeconds = "ap.fft.real_seconds"
+
 	// Sub-stage split of the synthesize stage, recorded by the fast
 	// synthesis kernels (core.Config.DisableFastSynth off): clutter-template
 	// fill, target-tone generation (including FSA gain-envelope
@@ -47,15 +54,17 @@ const (
 )
 
 // Canonical trace span names. The three ap.synthesize.* sub-spans nest
-// inside each fast-path ap.synthesize span (same capture, narrower
-// windows), so `milback-report -trace` attributes synthesis time to the
-// stage that actually spent it.
+// inside each fast-path ap.synthesize span, and ap.fft.real nests inside
+// each fast-path ap.fft span (same capture, narrower windows), so
+// `milback-report -trace` attributes pipeline time to the stage that
+// actually spent it.
 const (
 	SpanSynthesize   = "ap.synthesize"
 	SpanSynthClutter = "ap.synthesize.clutter"
 	SpanSynthTargets = "ap.synthesize.targets"
 	SpanSynthNoise   = "ap.synthesize.noise"
 	SpanFFT          = "ap.fft"
+	SpanFFTReal      = "ap.fft.real"
 	SpanDetect       = "ap.detect"
 	SpanJob          = "proto.job"
 	SpanLease        = "capture.lease"

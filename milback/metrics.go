@@ -79,6 +79,12 @@ type Metrics struct {
 	SynthTargets Histogram
 	SynthNoise   Histogram
 
+	// FFTReal times the fused background-subtraction transform inside the
+	// FFT stage (the windowed consecutive-difference pass itself). Empty
+	// when the fused transform is disabled (the reference FFT-then-subtract
+	// path reports only the aggregate FFT).
+	FFTReal Histogram
+
 	// LeaseTime distributes how long operations held capture buffers
 	// (Acquire to Close). LeasesReclaimed counts the subset of closed leases
 	// that were leaked by their operation and reclaimed at the airtime-grant
@@ -125,6 +131,7 @@ func (nw *Network) Metrics() Metrics {
 		SynthTargets:         histogramFromSnapshot(snap.Histograms[obs.MetricSynthTargetsSeconds]),
 		SynthNoise:           histogramFromSnapshot(snap.Histograms[obs.MetricSynthNoiseSeconds]),
 		FFT:                  histogramFromSnapshot(snap.Histograms[obs.MetricFFTSeconds]),
+		FFTReal:              histogramFromSnapshot(snap.Histograms[obs.MetricFFTRealSeconds]),
 		Detect:               histogramFromSnapshot(snap.Histograms[obs.MetricDetectSeconds]),
 		LeaseTime:            histogramFromSnapshot(snap.Histograms[obs.MetricLeaseSeconds]),
 		LeasesOpened:         snap.Counters[obs.MetricLeasesOpened],

@@ -20,7 +20,7 @@ BENCHTIME="${1:-300ms}"
 OUT="${2:-BENCH_seed.json}"
 
 go test -run '^$' \
-	-bench 'FFT2048PlanCached|FFT2048Uncached|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState|SynthesizeChirpsMulti' \
+	-bench 'FFT2048PlanCached|FFT2048Uncached|RFFT2048|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState|SynthesizeChirpsMulti' \
 	-benchtime "$BENCHTIME" -benchmem . |
 	awk -v benchtime="$BENCHTIME" '
 	/^goos:/ { goos = $2 }
@@ -37,7 +37,12 @@ go test -run '^$' \
 			else if ($(i + 1) == "B/op") bytes = $i
 			else if ($(i + 1) == "allocs/op") allocs = $i
 		}
-		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns)
+		# Per-row gomaxprocs: the pinned-core benchmarks override the runtime
+		# value internally, so the machine figure would misdescribe them.
+		rowprocs = maxprocs
+		if (name == "BenchmarkCaptureSerial") rowprocs = 1
+		else if (name == "BenchmarkCaptureParallel4") rowprocs = 4
+		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"gomaxprocs\": %s", name, $2, ns, rowprocs)
 		if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
 		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
 		vals[++n] = line "}"

@@ -11,21 +11,36 @@
 # GATE=BenchmarkName, and the threshold with MAX_REGRESS_PCT (default 10,
 # i.e. fail when new ns/op > old ns/op * 1.10). Benchmarks present in only
 # one snapshot are listed but not gated.
+#
+# When the NEW snapshot was taken on a machine with >= 4 cores, the script
+# additionally gates parallel scaling: BenchmarkCaptureParallel4 must be at
+# least PAR_MIN_SPEEDUP (default 2) times faster than BenchmarkCaptureSerial.
+# On narrower machines the pinned GOMAXPROCS=4 workers time-slice the same
+# cores and no speedup is physically possible, so the check is skipped with
+# a note.
 set -eu
 
 OLD="${1:-BENCH_pr3.json}"
 NEW="${2:-BENCH_pr5.json}"
 GATE="${GATE:-BenchmarkCaptureSteadyState}"
 MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-10}"
+PAR_MIN_SPEEDUP="${PAR_MIN_SPEEDUP:-2}"
 
 [ -f "$OLD" ] || { echo "bench_compare: missing baseline $OLD" >&2; exit 2; }
 [ -f "$NEW" ] || { echo "bench_compare: missing snapshot $NEW" >&2; exit 2; }
 
-awk -v oldfile="$OLD" -v newfile="$NEW" -v gate="$GATE" -v maxpct="$MAX_REGRESS_PCT" '
+awk -v oldfile="$OLD" -v newfile="$NEW" -v gate="$GATE" -v maxpct="$MAX_REGRESS_PCT" -v parmin="$PAR_MIN_SPEEDUP" '
 function parse(file, tbl, ord,   line, name, ns, n) {
 	n = 0
+	lastprocs = ""
 	while ((getline line < file) > 0) {
-		if (line !~ /"name":/) continue
+		if (line !~ /"name":/) {
+			# Top-level machine gomaxprocs (the first one in the file; rows
+			# carry their own per-benchmark values further down).
+			if (lastprocs == "" && match(line, /"gomaxprocs": [0-9]+/))
+				lastprocs = substr(line, RSTART + 14, RLENGTH - 14) + 0
+			continue
+		}
 		if (!match(line, /"name": "[^"]+"/)) continue
 		name = substr(line, RSTART + 9, RLENGTH - 10)
 		if (!match(line, /"ns_per_op": [0-9.]+/)) continue
@@ -39,6 +54,7 @@ function parse(file, tbl, ord,   line, name, ns, n) {
 BEGIN {
 	parse(oldfile, a, aord)
 	nb = parse(newfile, b, bord)
+	newprocs = lastprocs
 	if (!(gate in a)) { printf "bench_compare: %s not in %s\n", gate, oldfile; exit 2 }
 	if (!(gate in b)) { printf "bench_compare: %s not in %s\n", gate, newfile; exit 2 }
 	printf "%-42s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
@@ -58,4 +74,18 @@ BEGIN {
 		exit 1
 	}
 	printf "OK: %s %d -> %d ns/op (%+.1f%%, limit +%s%%)\n", gate, a[gate], b[gate], gpct, maxpct
+	# Parallel-scaling gate: only meaningful where 4 workers get 4 cores.
+	ser = "BenchmarkCaptureSerial"; par = "BenchmarkCaptureParallel4"
+	if ((ser in b) && (par in b)) {
+		speed = b[par] > 0 ? b[ser] / b[par] : 0
+		if (newprocs == "" || newprocs + 0 < 4) {
+			printf "skip: parallel gate needs >= 4 cores (machine has %s); %s speedup %.2fx unenforced\n", \
+				newprocs == "" ? "?" : newprocs, par, speed
+		} else if (speed < parmin + 0) {
+			printf "FAIL: %s speedup %.2fx over %s, need >= %sx\n", par, speed, ser, parmin
+			exit 1
+		} else {
+			printf "OK: %s speedup %.2fx over %s (limit >= %sx)\n", par, speed, ser, parmin
+		}
+	}
 }'
