@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline bench-compare docs-check
+.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline bench-compare docs-check api-check
 
-verify: lint docs-check build race determinism alloc-gate bench bench-compare
+verify: lint docs-check api-check build race determinism alloc-gate bench bench-compare
 
 # lint is the static gate: vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -45,9 +45,15 @@ docs-check:
 	$(GO) run ./scripts/docscheck milback internal/obs internal/ap \
 		internal/capture internal/core internal/proto internal/dsp \
 		internal/fsa internal/node internal/parallel internal/rfsim \
-		internal/track internal/waveform internal/ber internal/baseline \
-		internal/experiments
+		internal/ring internal/track internal/waveform internal/ber \
+		internal/baseline internal/experiments
 	./scripts/md_link_check.sh README.md DESIGN.md ROADMAP.md EXPERIMENTS.md
+
+# Public-API surface gate: the exported milback API (normalized `go doc
+# -all` dump) must match the committed api/milback.txt golden; intentional
+# changes regenerate it with `./scripts/api_check.sh -update`.
+api-check:
+	./scripts/api_check.sh
 
 # Pooled capture plane must allocate <= 50% of the NoPool reference per
 # steady-state localization (compare against the committed BENCH_seed.json

@@ -190,6 +190,21 @@ func (s *System) AddNode(pos rfsim.Point, orientationDeg float64) (*node.Node, e
 // Nodes returns the registered nodes.
 func (s *System) Nodes() []*node.Node { return s.nodes }
 
+// RemoveNode unregisters a node (pointer identity), reporting whether it
+// was present. The node object stays valid — captures already holding it
+// finish normally — but it no longer appears in Nodes or discovery sweeps.
+// Callers must serialize RemoveNode against captures the same way AddNode
+// is serialized (the cluster schedules it on the airtime queue).
+func (s *System) RemoveNode(n *node.Node) bool {
+	for i, have := range s.nodes {
+		if have == n {
+			s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // localizationTarget builds the dechirp-domain view of a node that toggles
 // BOTH ports together, alternating per chirp — the §5.1 switching pattern.
 // The closure evaluates hypothetical switch states through the FSA's pure

@@ -42,6 +42,17 @@ const (
 	// only the aggregate MetricFFTSeconds.
 	MetricFFTRealSeconds = "ap.fft.real_seconds"
 
+	// Cluster plane (milback.Cluster): per-AP roaming and sharding
+	// accounting, registered in each AP's own registry. HandoffsIn counts
+	// nodes this AP received from a neighbour, HandoffsOut nodes it drained
+	// away, Rebalances the subset of inbound handoffs forced by an AP
+	// leaving the ring (RemoveAP) rather than by node movement, and
+	// RingNodes gauges how many nodes the ring currently homes at this AP.
+	MetricHandoffsIn  = "cluster.handoffs_in"
+	MetricHandoffsOut = "cluster.handoffs_out"
+	MetricRebalances  = "cluster.rebalances"
+	MetricRingNodes   = "cluster.ring_nodes"
+
 	// Sub-stage split of the synthesize stage, recorded by the fast
 	// synthesis kernels (core.Config.DisableFastSynth off): clutter-template
 	// fill, target-tone generation (including FSA gain-envelope

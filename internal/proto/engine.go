@@ -58,6 +58,16 @@ type EngineConfig struct {
 	// The network wires it to the capture plane's job lease so capture
 	// buffers a job leaks are reclaimed at the grant boundary.
 	OnGrant func() (release func())
+	// Admit, if set, is consulted on the scheduler goroutine before each
+	// job executes and may block until the wider deployment allows this
+	// scheduler onto the air; the release func it returns runs after the
+	// job (and after OnGrant's release). A multi-AP cluster wires it to a
+	// cluster-level admission check so co-channel APs within interference
+	// range never grant spatially incompatible captures concurrently.
+	// Blocking in Admit delays grants but never reorders a queue and never
+	// touches a seed stream, so results stay deterministic. Nil admits
+	// unconditionally (the single-AP configuration).
+	Admit func() (release func())
 	// Obs is the registry the scheduler's accounting lives in (queue-wait
 	// and job-duration histograms, outcome counters, airtime totals). When
 	// nil the engine creates a private registry so Stats always works; pass
@@ -113,11 +123,11 @@ type Stats struct {
 	// QueueWait is a histogram of wall-clock queue waits of executed jobs
 	// (see QueueWaitBucketBounds).
 	//
-	// Deprecated: the scheduler's accounting now lives in the obs registry
-	// (obs.MetricQueueWaitSeconds), which is also where the job-duration
-	// distribution is. This field remains populated — mirrored from that
-	// histogram, never double-counted — for one release; read the registry
-	// (or milback.Network.Metrics) instead.
+	// Deprecated: use the obs registry's obs.MetricQueueWaitSeconds
+	// histogram (surfaced as milback.Network.Metrics().QueueWait), which is
+	// also where the job-duration distribution is. This field remains
+	// populated — mirrored from that histogram, never double-counted — and
+	// will be removed in PR 9.
 	QueueWait [QueueWaitBuckets]uint64
 }
 
@@ -388,6 +398,10 @@ func (e *Engine) execute(j *job) {
 		j.done <- fmt.Errorf("%w: %w", ErrCancelled, err)
 		return
 	}
+	var admitRelease func()
+	if e.cfg.Admit != nil {
+		admitRelease = e.cfg.Admit()
+	}
 	start := time.Now()
 	e.obs.queueWait.Observe(start.Sub(j.enqueued).Seconds())
 	var release func()
@@ -397,6 +411,9 @@ func (e *Engine) execute(j *job) {
 	rep, err := j.run(j.ctx)
 	if release != nil {
 		release()
+	}
+	if admitRelease != nil {
+		admitRelease()
 	}
 	e.obs.jobDuration.Observe(time.Since(start).Seconds())
 	e.cfg.Tracer.Record(obs.SpanJob, start, int64(j.key))

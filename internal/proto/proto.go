@@ -191,6 +191,7 @@ type Network struct {
 	sys        *core.System
 	baseSeed   int64
 	jobTimeout time.Duration
+	admit      func() (release func())
 
 	mu       sync.Mutex
 	sessions []*Session
@@ -210,11 +211,32 @@ func NewNetwork(sys *core.System) *Network {
 // stream; jobTimeout (0 = none) bounds each scheduled job's time in the
 // scheduler (see EngineConfig.JobTimeout).
 func NewNetworkSeeded(sys *core.System, baseSeed int64, jobTimeout time.Duration) *Network {
+	return NewNetworkWithOptions(sys, NetworkOptions{BaseSeed: baseSeed, JobTimeout: jobTimeout})
+}
+
+// NetworkOptions parameterizes NewNetworkWithOptions.
+type NetworkOptions struct {
+	// BaseSeed roots every session's seed stream.
+	BaseSeed int64
+	// JobTimeout bounds each scheduled job's time in the scheduler
+	// (0 = none; see EngineConfig.JobTimeout).
+	JobTimeout time.Duration
+	// Admit, when set, gates every airtime grant through a deployment-level
+	// admission check (see EngineConfig.Admit). The cluster facade wires
+	// all co-channel APs of one cluster to a shared coordinator here.
+	Admit func() (release func())
+}
+
+// NewNetworkWithOptions wraps a system with explicit scheduler options —
+// the constructor the multi-AP cluster uses to install its admission
+// coordinator.
+func NewNetworkWithOptions(sys *core.System, opts NetworkOptions) *Network {
 	return &Network{
 		sys:        sys,
-		baseSeed:   baseSeed,
-		jobTimeout: jobTimeout,
-		netRNG:     NewSeedStream(DeriveSessionSeed(baseSeed, networkJobKey)),
+		baseSeed:   opts.BaseSeed,
+		jobTimeout: opts.JobTimeout,
+		admit:      opts.Admit,
+		netRNG:     NewSeedStream(DeriveSessionSeed(opts.BaseSeed, networkJobKey)),
 	}
 }
 
@@ -230,6 +252,7 @@ func (n *Network) engine() *Engine {
 			JobTimeout: n.jobTimeout,
 			Obs:        n.sys.Obs(),
 			Tracer:     n.sys.Tracer(),
+			Admit:      n.admit,
 			OnGrant: func() func() {
 				return n.sys.Capture().BeginJob().End
 			},
@@ -256,18 +279,62 @@ func (n *Network) Stats() Stats {
 func (n *Network) Join(pos rfsim.Point, orientationDeg float64) (*Session, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	id := len(n.sessions) + 1 // 0 is the network-scope queue key
+	return n.joinLocked(pos, orientationDeg, id, DeriveSessionSeed(n.baseSeed, id))
+}
+
+// JoinSeeded creates a session with a caller-chosen queue id and seed-stream
+// root — the hook the cluster facade uses so a node's noise stream derives
+// from its cluster-wide identity (and handoff generation) rather than from
+// its join order at whichever AP currently serves it. id must be positive
+// (0 is the network-scope queue key) and unique among the network's live
+// sessions. Safe for concurrent use.
+func (n *Network) JoinSeeded(pos rfsim.Point, orientationDeg float64, id int, seed int64) (*Session, error) {
+	if id <= 0 {
+		return nil, fmt.Errorf("proto: session id must be positive, got %d", id)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.sessions {
+		if s.id == id {
+			return nil, fmt.Errorf("proto: session id %d already joined", id)
+		}
+	}
+	return n.joinLocked(pos, orientationDeg, id, seed)
+}
+
+// joinLocked registers a node and its session; callers hold n.mu.
+func (n *Network) joinLocked(pos rfsim.Point, orientationDeg float64, id int, seed int64) (*Session, error) {
 	nd, err := n.sys.AddNode(pos, orientationDeg)
 	if err != nil {
 		return nil, err
 	}
-	id := len(n.sessions) + 1 // 0 is the network-scope queue key
-	s, err := NewSession(n.sys, nd, DeriveSessionSeed(n.baseSeed, id))
+	s, err := NewSession(n.sys, nd, seed)
 	if err != nil {
 		return nil, err
 	}
 	s.id = id
 	n.sessions = append(n.sessions, s)
 	return s, nil
+}
+
+// Detach removes a session from the network and its node from the system,
+// reporting whether the session was present. The caller is responsible for
+// scheduling the detach so it cannot race a capture in flight — the cluster
+// runs it as a job on the session's own queue, which drains any granted
+// operation first. A detached session's pointer stays valid but the node no
+// longer participates in discovery sweeps or superframes.
+func (n *Network) Detach(s *Session) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, have := range n.sessions {
+		if have == s {
+			n.sessions = append(n.sessions[:i], n.sessions[i+1:]...)
+			n.sys.RemoveNode(s.node)
+			return true
+		}
+	}
+	return false
 }
 
 // Sessions returns a snapshot of all sessions in join order.

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/waveform"
@@ -34,13 +35,21 @@ type SuperframeResult struct {
 	Fairness float64
 }
 
-// RunSuperframe serves every session `rounds` times in round-robin order
-// (§7's SDM made into a schedule), each service moving payloadBytes in the
-// given direction at the given rate. Individual packet failures (blocked
-// node, dead link) are recorded as zero delivery for that slot rather than
-// aborting the frame — one broken node must not stall the cell.
+// RunSuperframe is RunSuperframeContext with a background context.
 func (n *Network) RunSuperframe(dir waveform.Direction, payloadBytes, rounds int,
 	rate float64) (SuperframeResult, error) {
+	return n.RunSuperframeContext(context.Background(), dir, payloadBytes, rounds, rate)
+}
+
+// RunSuperframeContext serves every session `rounds` times in round-robin
+// order (§7's SDM made into a schedule), each service moving payloadBytes
+// in the given direction at the given rate. Individual packet failures
+// (blocked node, dead link) are recorded as zero delivery for that slot
+// rather than aborting the frame — one broken node must not stall the
+// cell. Cancellation between slots abandons the remaining schedule and
+// returns ErrCancelled wrapping the context error.
+func (n *Network) RunSuperframeContext(ctx context.Context, dir waveform.Direction,
+	payloadBytes, rounds int, rate float64) (SuperframeResult, error) {
 	sessions := n.Sessions()
 	if len(sessions) == 0 {
 		return SuperframeResult{}, fmt.Errorf("proto: superframe over an empty network")
@@ -59,9 +68,12 @@ func (n *Network) RunSuperframe(dir waveform.Direction, payloadBytes, rounds int
 	}
 	for r := 0; r < rounds; r++ {
 		for i, s := range sessions {
-			out, err := n.ExchangeContext(context.Background(), s, dir, payload, rate)
+			out, err := n.ExchangeContext(ctx, s, dir, payload, rate)
 			st := &res.PerNode[i]
 			if err != nil {
+				if errors.Is(err, ErrCancelled) || errors.Is(err, ErrClosed) {
+					return res, err
+				}
 				// Failed slot: charge a nominal preamble airtime so a dead
 				// node still costs schedule time.
 				spec := waveform.DefaultPacketSpec(dir, 0)

@@ -1,0 +1,24 @@
+// Package ring implements the consistent-hash ring that shards backscatter
+// nodes across the access points of a multi-AP cluster.
+//
+// Each member (an AP index) owns a number of virtual partition points
+// proportional to its weight; the points are deterministic hashes of
+// (member, replica), so the ring's layout depends only on its membership,
+// never on insertion order or on any runtime state. A key is owned by the
+// first point clockwise from its hash (wrapping at the top), which gives the
+// classic consistent-hashing property: adding or removing one member moves
+// only the keys that member gains or loses, leaving every other assignment
+// untouched.
+//
+// Keys are spatial: the cluster quantizes a node's position into a grid cell
+// (CellKey) and hashes the cell, so a node that moves across a cell boundary
+// may land on a different partition — that is what triggers a roaming
+// handoff — while a node milling around inside one cell stays put.
+//
+// # Paper map
+//
+// The paper (§7) demonstrates one AP serving a room by spatial-division
+// multiplexing. Both surveys in PAPERS.md call dense multi-reader deployment
+// the open regime; this package supplies the sharding layer that lets
+// milback.Cluster evaluate it in simulation.
+package ring

@@ -1,0 +1,158 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultReplicas is the number of virtual partition points a member of
+// weight 1 places on the ring. More replicas smooth the key distribution at
+// the cost of a larger (still tiny) sorted table; 64 per weight unit keeps
+// the per-member share within a few percent of proportional for the AP
+// counts a cluster realistically runs.
+const DefaultReplicas = 64
+
+// point is one virtual partition: a hash position owned by a member.
+type point struct {
+	hash   uint64
+	member int
+}
+
+// Ring is a weighted consistent-hash ring. It is not safe for concurrent
+// mutation; the cluster guards it with its own lock. Lookups on an
+// unchanging ring are safe to share.
+type Ring struct {
+	replicas int
+	weights  map[int]int
+	points   []point
+}
+
+// New returns an empty ring placing replicasPerWeight virtual points per
+// weight unit (<= 0 selects DefaultReplicas).
+func New(replicasPerWeight int) *Ring {
+	if replicasPerWeight <= 0 {
+		replicasPerWeight = DefaultReplicas
+	}
+	return &Ring{replicas: replicasPerWeight, weights: make(map[int]int)}
+}
+
+// SetMember adds the member with the given weight, or reweights it if
+// already present. Weights below 1 are clamped to 1 (use Remove to take a
+// member out). The ring is rebuilt deterministically from the full
+// membership, so the resulting layout is independent of call order.
+func (r *Ring) SetMember(member, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	r.weights[member] = weight
+	r.rebuild()
+}
+
+// Remove deletes a member and its virtual points, reporting whether it was
+// present. Every key the member did not own keeps its current owner.
+func (r *Ring) Remove(member int) bool {
+	if _, ok := r.weights[member]; !ok {
+		return false
+	}
+	delete(r.weights, member)
+	r.rebuild()
+	return true
+}
+
+// rebuild regenerates the sorted point table from the membership. Each
+// member contributes weight*replicas points hashed purely from (member,
+// replica), so two rings with the same membership are identical.
+func (r *Ring) rebuild() {
+	r.points = r.points[:0]
+	for member, weight := range r.weights {
+		n := weight * r.replicas
+		for rep := 0; rep < n; rep++ {
+			r.points = append(r.points, point{hash: pointHash(member, rep), member: member})
+		}
+	}
+	// Ties (two members hashing to the same position) break toward the
+	// smaller member index, deterministically.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Owner returns the member owning the key: the first virtual point at or
+// clockwise after the key's position, wrapping to the lowest point past the
+// top of the ring. A key that lands exactly on a partition point belongs to
+// that point. ok is false for an empty ring.
+func (r *Ring) Owner(key uint64) (member int, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// Members returns the current membership in ascending order.
+func (r *Ring) Members() []int {
+	out := make([]int, 0, len(r.weights))
+	for m := range r.weights {
+		out = append(out, m)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Weight returns a member's weight (0 if absent).
+func (r *Ring) Weight(member int) int { return r.weights[member] }
+
+// Len returns the number of members.
+func (r *Ring) Len() int { return len(r.weights) }
+
+// Points returns the number of virtual partition points on the ring
+// (diagnostic; weight sum times replicas).
+func (r *Ring) Points() int { return len(r.points) }
+
+// splitmix64 is the SplitMix64 finalizer over one Weyl step — the same
+// mixer the proto seed streams use, reused here so ring layouts are as
+// seed-stable as everything else in the repository.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// pointHash positions one virtual partition point. Member and replica are
+// mixed in two rounds so members with adjacent indices do not produce
+// correlated point sequences.
+func pointHash(member, replica int) uint64 {
+	return splitmix64(splitmix64(uint64(int64(member))) ^ uint64(int64(replica)))
+}
+
+// KeyHash hashes an arbitrary 64-bit key onto the ring. An extra mixing
+// round decorrelates key space from point space, so a key can still land
+// exactly on a point only by 64-bit coincidence (Owner handles that case
+// deterministically either way).
+func KeyHash(k uint64) uint64 {
+	return splitmix64(splitmix64(k) ^ 0xA5A5A5A5A5A5A5A5)
+}
+
+// CellKey quantizes a position (cluster-frame meters) to a spatial grid
+// cell and hashes it into ring key space. cellM is the cell edge length;
+// quantization is floor-based, so a coordinate exactly on a cell boundary
+// belongs to the cell on its positive side: CellKey(1.0, y, 1.0) is the
+// cell [1.0, 2.0), not [0.0, 1.0). Callers must pass finite coordinates and
+// a positive cell size.
+func CellKey(x, y, cellM float64) uint64 {
+	if cellM <= 0 || math.IsNaN(cellM) {
+		panic(fmt.Sprintf("ring: cell size must be positive, got %g", cellM))
+	}
+	cx := int64(math.Floor(x / cellM))
+	cy := int64(math.Floor(y / cellM))
+	return KeyHash(splitmix64(uint64(cx)) ^ uint64(cy))
+}

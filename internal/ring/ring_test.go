@@ -1,0 +1,185 @@
+package ring
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOwnerDeterministicAndOrderIndependent(t *testing.T) {
+	a := New(0)
+	for m := 0; m < 4; m++ {
+		a.SetMember(m, 1)
+	}
+	b := New(0)
+	for _, m := range []int{3, 1, 0, 2} {
+		b.SetMember(m, 1)
+	}
+	for k := uint64(0); k < 10000; k += 97 {
+		oa, oka := a.Owner(KeyHash(k))
+		ob, okb := b.Owner(KeyHash(k))
+		if !oka || !okb || oa != ob {
+			t.Fatalf("key %d: owner %d/%v vs %d/%v across insertion orders", k, oa, oka, ob, okb)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(0)
+	if _, ok := r.Owner(42); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if r.Remove(0) {
+		t.Fatal("empty ring removed a member")
+	}
+}
+
+func TestSingleMemberOwnsEverything(t *testing.T) {
+	r := New(0)
+	r.SetMember(7, 3)
+	for k := uint64(0); k < 5000; k += 131 {
+		if m, ok := r.Owner(k); !ok || m != 7 {
+			t.Fatalf("key %d: owner %d/%v, want 7", k, m, ok)
+		}
+	}
+}
+
+func TestWeightsSkewDistribution(t *testing.T) {
+	r := New(0)
+	r.SetMember(0, 1)
+	r.SetMember(1, 4)
+	counts := map[int]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m, _ := r.Owner(KeyHash(uint64(i)))
+		counts[m]++
+	}
+	frac := float64(counts[1]) / n
+	if frac < 0.65 || frac > 0.95 {
+		t.Fatalf("weight-4 member owns %.2f of keys, want ~0.8", frac)
+	}
+}
+
+// TestRemoveMovesOnlyOrphanedKeys pins the consistent-hashing property the
+// cluster's rebalance relies on: removing an AP re-homes only the nodes it
+// owned.
+func TestRemoveMovesOnlyOrphanedKeys(t *testing.T) {
+	r := New(0)
+	for m := 0; m < 5; m++ {
+		r.SetMember(m, 1)
+	}
+	before := map[uint64]int{}
+	for i := 0; i < 5000; i++ {
+		k := KeyHash(uint64(i) * 2654435761)
+		before[k], _ = r.Owner(k)
+	}
+	if !r.Remove(2) {
+		t.Fatal("Remove(2) reported absent member")
+	}
+	moved, orphaned := 0, 0
+	for k, was := range before {
+		now, ok := r.Owner(k)
+		if !ok {
+			t.Fatal("ring emptied unexpectedly")
+		}
+		if was == 2 {
+			orphaned++
+			if now == 2 {
+				t.Fatalf("key %d still owned by removed member", k)
+			}
+			continue
+		}
+		if now != was {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed member moved", moved)
+	}
+	if orphaned == 0 {
+		t.Fatal("test vacuous: removed member owned no keys")
+	}
+}
+
+// TestOwnerExactlyOnPartitionPoint pins the boundary convention: a key whose
+// hash equals a virtual point's position belongs to that point.
+func TestOwnerExactlyOnPartitionPoint(t *testing.T) {
+	r := New(0)
+	for m := 0; m < 3; m++ {
+		r.SetMember(m, 1)
+	}
+	for _, p := range r.points {
+		m, ok := r.Owner(p.hash)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		// The owner must be the point itself unless an equal-hash tie breaks
+		// toward a smaller member index.
+		if m != p.member {
+			// Verify the only way this happens is an exact hash collision.
+			collision := false
+			for _, q := range r.points {
+				if q.hash == p.hash && q.member < p.member {
+					collision = true
+				}
+			}
+			if !collision {
+				t.Fatalf("key on point (hash %d, member %d) owned by %d", p.hash, p.member, m)
+			}
+		}
+	}
+}
+
+func TestCellKeyBoundaryFloorsPositive(t *testing.T) {
+	// Exactly on the boundary: belongs to the cell on the positive side.
+	if CellKey(1.0, 0, 1.0) != CellKey(1.5, 0, 1.0) {
+		t.Fatal("x=1.0 not in cell [1,2) for 1 m cells")
+	}
+	if CellKey(1.0, 0, 1.0) == CellKey(0.999, 0, 1.0) {
+		t.Fatal("x=1.0 collides with cell [0,1)")
+	}
+	// Negative coordinates floor away from zero.
+	if CellKey(-0.5, 0, 1.0) != CellKey(-0.001, 0, 1.0) {
+		t.Fatal("negative coordinates not floored into cell [-1,0)")
+	}
+	if CellKey(-0.5, 0, 1.0) == CellKey(0.5, 0, 1.0) {
+		t.Fatal("cells [-1,0) and [0,1) collide")
+	}
+	// x/y asymmetry: transposed cells differ.
+	if CellKey(3, 5, 1.0) == CellKey(5, 3, 1.0) {
+		t.Fatal("transposed cells collide")
+	}
+}
+
+func TestCellKeyRejectsBadCellSize(t *testing.T) {
+	for _, bad := range []float64{0, -1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("CellKey accepted cell size %g", bad)
+				}
+			}()
+			CellKey(1, 1, bad)
+		}()
+	}
+}
+
+func TestReweightRebuildsDeterministically(t *testing.T) {
+	r := New(32)
+	r.SetMember(0, 1)
+	r.SetMember(1, 1)
+	r.SetMember(1, 3) // reweight
+	if r.Weight(1) != 3 || r.Points() != (1+3)*32 {
+		t.Fatalf("weight/points after reweight: %d/%d", r.Weight(1), r.Points())
+	}
+	fresh := New(32)
+	fresh.SetMember(1, 3)
+	fresh.SetMember(0, 1)
+	for i := 0; i < 2000; i++ {
+		k := KeyHash(uint64(i))
+		a, _ := r.Owner(k)
+		b, _ := fresh.Owner(k)
+		if a != b {
+			t.Fatalf("reweighted ring differs from fresh ring at key %d", k)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package milback
+
+import "repro/internal/obs"
+
+// APMetrics is one AP's slice of the cluster observability plane: the same
+// machinery view Network.Metrics gives a single AP, plus the cluster's
+// roaming accounting for that AP.
+type APMetrics struct {
+	// AP is the ring index; Placement its position and ring weight.
+	AP        int
+	Placement APPlacement
+	// Removed reports an AP drained out of the ring by RemoveAP; its
+	// counters stop moving but its history remains.
+	Removed bool
+
+	// HandoffsIn counts nodes this AP received from a neighbour and
+	// HandoffsOut nodes it drained away; Rebalances is the subset of
+	// HandoffsIn forced by an AP leaving the ring rather than by node
+	// movement. RingNodes is the number of nodes currently homed here.
+	HandoffsIn  uint64
+	HandoffsOut uint64
+	Rebalances  uint64
+	RingNodes   int64
+
+	// Metrics is the AP's own scheduler/capture/pipeline instrumentation.
+	Metrics Metrics
+}
+
+// ClusterMetrics aggregates the per-AP observability registries.
+type ClusterMetrics struct {
+	// PerAP holds one entry per AP in ring order, removed APs included.
+	PerAP []APMetrics
+	// Handoffs is the cluster-wide number of completed handoffs (each
+	// counted once, at the receiving AP) and Rebalances the subset forced
+	// by RemoveAP.
+	Handoffs   uint64
+	Rebalances uint64
+}
+
+// Metrics returns a snapshot of every AP's internal instrumentation plus
+// the cluster's roaming counters. Like Network.Metrics it is approximate
+// under concurrent operations, and entirely zero when observability is
+// disabled in the system configuration.
+func (c *Cluster) Metrics() ClusterMetrics {
+	var out ClusterMetrics
+	for _, cell := range c.aps {
+		snap := cell.sys.Obs().Snapshot()
+		c.mu.Lock()
+		removed := cell.removed
+		c.mu.Unlock()
+		m := APMetrics{
+			AP:          cell.index,
+			Placement:   cell.place,
+			Removed:     removed,
+			HandoffsIn:  snap.Counters[obs.MetricHandoffsIn],
+			HandoffsOut: snap.Counters[obs.MetricHandoffsOut],
+			Rebalances:  snap.Counters[obs.MetricRebalances],
+			RingNodes:   snap.Gauges[obs.MetricRingNodes],
+			Metrics:     metricsFromSnapshot(snap),
+		}
+		out.PerAP = append(out.PerAP, m)
+		out.Handoffs += m.HandoffsIn
+		out.Rebalances += m.Rebalances
+	}
+	return out
+}

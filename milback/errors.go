@@ -45,6 +45,9 @@ var (
 
 	// ErrClosed reports an operation on a network after Close.
 	ErrClosed error = proto.ErrClosed
+
+	// ErrUnknownNode reports a NodeID a Cluster has never issued.
+	ErrUnknownNode = errors.New("milback: unknown node")
 )
 
 // finite reports whether every argument is a usable coordinate (no NaN or

@@ -49,16 +49,23 @@ func (nw *Network) DiscoverContext(ctx context.Context) ([]Detection, error) {
 	return out, nil
 }
 
-// AddBlocker inserts a blocking segment (a person, a cabinet) into the
-// scene. lossDB is the one-way penetration loss (human torso ≈ 30 dB at
+// AddBlocker is AddBlockerContext with a background context.
+func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error {
+	return nw.AddBlockerContext(context.Background(), name, x1, y1, x2, y2, lossDB)
+}
+
+// AddBlockerContext inserts a blocking segment (a person, a cabinet) into
+// the scene. lossDB is the one-way penetration loss (human torso ≈ 30 dB at
 // 28 GHz). Links whose line of sight crosses the segment degrade or die;
 // remove the blocker with RemoveBlocker. The scene edit is scheduled like
-// any other operation, so it cannot race an exchange in flight.
-func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error {
+// any other operation, so it cannot race an exchange in flight;
+// cancellation while it waits for the beam returns ErrCancelled with the
+// scene untouched.
+func (nw *Network) AddBlockerContext(ctx context.Context, name string, x1, y1, x2, y2, lossDB float64) error {
 	if lossDB <= 0 {
 		return fmt.Errorf("milback: blocker loss must be positive, got %g", lossDB)
 	}
-	err := nw.net.RunNetworkJobContext(context.Background(), func(context.Context) (proto.JobReport, error) {
+	err := nw.net.RunNetworkJobContext(ctx, func(context.Context) (proto.JobReport, error) {
 		nw.net.System().AP.Scene().AddObstruction(rfsim.Obstruction{
 			Name:   name,
 			A:      rfsim.Point{X: x1, Y: y1},
@@ -73,12 +80,17 @@ func (nw *Network) AddBlocker(name string, x1, y1, x2, y2, lossDB float64) error
 	return nil
 }
 
-// RemoveBlocker removes a named blocker, reporting whether it existed. A
-// non-nil error (ErrClosed after Close) means the edit was not applied and
-// the bool is meaningless.
+// RemoveBlocker is RemoveBlockerContext with a background context.
 func (nw *Network) RemoveBlocker(name string) (bool, error) {
+	return nw.RemoveBlockerContext(context.Background(), name)
+}
+
+// RemoveBlockerContext removes a named blocker, reporting whether it
+// existed. A non-nil error (ErrCancelled, ErrClosed after Close) means the
+// edit was not applied and the bool is meaningless.
+func (nw *Network) RemoveBlockerContext(ctx context.Context, name string) (bool, error) {
 	existed := false
-	err := nw.net.RunNetworkJobContext(context.Background(), func(context.Context) (proto.JobReport, error) {
+	err := nw.net.RunNetworkJobContext(ctx, func(context.Context) (proto.JobReport, error) {
 		existed = nw.net.System().AP.Scene().RemoveObstruction(name)
 		return proto.JobReport{}, nil
 	})
@@ -99,22 +111,35 @@ type ReliableExchange struct {
 	NodeEnergyJ float64
 }
 
-// SendReliable transfers data node→AP with CRC-16 framing and stop-and-wait
-// ARQ: corrupted packets are detected and retransmitted up to maxAttempts.
-// The whole transaction (retransmissions included) occupies one scheduler
-// slot. It can return ErrNoDetection, ErrOutOfBand and ErrClosed.
+// SendReliable is SendReliableContext with a background context.
 func (n *Node) SendReliable(data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
-	return n.reliable(waveform.Uplink, data, bitRate, maxAttempts)
+	return n.reliable(context.Background(), waveform.Uplink, data, bitRate, maxAttempts)
 }
 
-// DeliverReliable transfers data AP→node with the same integrity machinery.
+// SendReliableContext transfers data node→AP with CRC-16 framing and
+// stop-and-wait ARQ: corrupted packets are detected and retransmitted up to
+// maxAttempts. The whole transaction (retransmissions included) occupies
+// one scheduler slot; cancellation between attempts abandons the transfer
+// with ErrCancelled. It can also return ErrNoDetection, ErrOutOfBand and
+// ErrClosed.
+func (n *Node) SendReliableContext(ctx context.Context, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
+	return n.reliable(ctx, waveform.Uplink, data, bitRate, maxAttempts)
+}
+
+// DeliverReliable is DeliverReliableContext with a background context.
 func (n *Node) DeliverReliable(data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
-	return n.reliable(waveform.Downlink, data, bitRate, maxAttempts)
+	return n.reliable(context.Background(), waveform.Downlink, data, bitRate, maxAttempts)
 }
 
-func (n *Node) reliable(dir waveform.Direction, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
+// DeliverReliableContext transfers data AP→node with the same integrity
+// machinery as SendReliableContext.
+func (n *Node) DeliverReliableContext(ctx context.Context, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
+	return n.reliable(ctx, waveform.Downlink, data, bitRate, maxAttempts)
+}
+
+func (n *Node) reliable(ctx context.Context, dir waveform.Direction, data []byte, bitRate float64, maxAttempts int) (ReliableExchange, error) {
 	var res proto.ReliableResult
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(ctx context.Context) (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(ctx, n.sess, func(ctx context.Context) (proto.JobReport, error) {
 		var err error
 		res, err = n.sess.SendReliableContext(ctx, dir, data, bitRate, maxAttempts)
 		if err != nil {
@@ -138,15 +163,21 @@ func (n *Node) reliable(dir waveform.Direction, data []byte, bitRate float64, ma
 	}, nil
 }
 
-// BestUplinkRate measures the node's current link budget and returns the
-// fastest standard rate (5–160 Mbps ladder) that sustains BER ≤ 1e-6. The
-// bool reports whether even the slowest rate meets the target.
+// BestUplinkRate is BestUplinkRateContext with a background context.
 func (n *Node) BestUplinkRate() (float64, bool, error) {
+	return n.BestUplinkRateContext(context.Background())
+}
+
+// BestUplinkRateContext measures the node's current link budget and returns
+// the fastest standard rate (5–160 Mbps ladder) that sustains BER ≤ 1e-6.
+// The bool reports whether even the slowest rate meets the target.
+// Cancellation while the probe waits for the beam returns ErrCancelled.
+func (n *Node) BestUplinkRateContext(ctx context.Context) (float64, bool, error) {
 	var (
 		rate float64
 		ok   bool
 	)
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(context.Context) (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(ctx, n.sess, func(context.Context) (proto.JobReport, error) {
 		var err error
 		rate, ok, err = n.sess.AdaptUplink(proto.DefaultRateController())
 		return proto.JobReport{}, err
@@ -157,26 +188,36 @@ func (n *Node) BestUplinkRate() (float64, bool, error) {
 	return rate, ok, nil
 }
 
-// SendFEC transfers data node→AP in a single packet protected by
+// SendFEC is SendFECContext with a background context.
+func (n *Node) SendFEC(data []byte, bitRate float64) ([]byte, int, error) {
+	return n.fec(context.Background(), waveform.Uplink, data, bitRate)
+}
+
+// SendFECContext transfers data node→AP in a single packet protected by
 // Hamming(7,4) forward error correction with depth-8 interleaving: isolated
 // channel bit errors are corrected without the airtime cost of a
 // retransmission. Returns the verified payload and the number of corrected
 // bits; residual errors surface as an error (the frame CRC catches them).
-func (n *Node) SendFEC(data []byte, bitRate float64) ([]byte, int, error) {
-	return n.fec(waveform.Uplink, data, bitRate)
+func (n *Node) SendFECContext(ctx context.Context, data []byte, bitRate float64) ([]byte, int, error) {
+	return n.fec(ctx, waveform.Uplink, data, bitRate)
 }
 
-// DeliverFEC is SendFEC for the AP→node direction.
+// DeliverFEC is DeliverFECContext with a background context.
 func (n *Node) DeliverFEC(data []byte, bitRate float64) ([]byte, int, error) {
-	return n.fec(waveform.Downlink, data, bitRate)
+	return n.fec(context.Background(), waveform.Downlink, data, bitRate)
 }
 
-func (n *Node) fec(dir waveform.Direction, data []byte, bitRate float64) ([]byte, int, error) {
+// DeliverFECContext is SendFECContext for the AP→node direction.
+func (n *Node) DeliverFECContext(ctx context.Context, data []byte, bitRate float64) ([]byte, int, error) {
+	return n.fec(ctx, waveform.Downlink, data, bitRate)
+}
+
+func (n *Node) fec(ctx context.Context, dir waveform.Direction, data []byte, bitRate float64) ([]byte, int, error) {
 	var (
 		got         []byte
 		corrections int
 	)
-	err := n.net.net.RunSessionJobContext(context.Background(), n.sess, func(ctx context.Context) (proto.JobReport, error) {
+	err := n.net.net.RunSessionJobContext(ctx, n.sess, func(ctx context.Context) (proto.JobReport, error) {
 		var err error
 		got, corrections, err = n.sess.SendFECContext(ctx, dir, data, bitRate, 8)
 		if err != nil {
@@ -212,11 +253,19 @@ type CellStats struct {
 	TotalAirtimeS float64
 }
 
-// RunUplinkSuperframe serves every joined node `rounds` times round-robin,
-// each slot carrying payloadBytes uplink at bitRate, and returns the cell's
-// throughput and fairness — the §7 SDM claim quantified.
+// RunUplinkSuperframe is RunUplinkSuperframeContext with a background
+// context.
 func (nw *Network) RunUplinkSuperframe(payloadBytes, rounds int, bitRate float64) (CellStats, error) {
-	res, err := nw.net.RunSuperframe(waveform.Uplink, payloadBytes, rounds, bitRate)
+	return nw.RunUplinkSuperframeContext(context.Background(), payloadBytes, rounds, bitRate)
+}
+
+// RunUplinkSuperframeContext serves every joined node `rounds` times
+// round-robin, each slot carrying payloadBytes uplink at bitRate, and
+// returns the cell's throughput and fairness — the §7 SDM claim quantified.
+// Cancellation between slots abandons the remaining schedule and returns
+// ErrCancelled.
+func (nw *Network) RunUplinkSuperframeContext(ctx context.Context, payloadBytes, rounds int, bitRate float64) (CellStats, error) {
+	res, err := nw.net.RunSuperframeContext(ctx, waveform.Uplink, payloadBytes, rounds, bitRate)
 	if err != nil {
 		return CellStats{}, fmt.Errorf("milback: %w", err)
 	}

@@ -26,7 +26,7 @@ func WithDebugServer(addr string) Option {
 // WithDebugServer, or "" when none is running. Useful with ":0" to discover
 // the ephemeral port.
 func (nw *Network) DebugAddr() string {
-	return nw.debug.Addr()
+	return nw.cluster.DebugAddr()
 }
 
 // Histogram is a fixed-bucket distribution snapshot. Bucket i counts
@@ -122,7 +122,13 @@ func histogramFromSnapshot(s obs.HistogramSnapshot) Histogram {
 // core.Config.DisableObservability via WithSystemConfig) every field is
 // zero.
 func (nw *Network) Metrics() Metrics {
-	snap := nw.net.System().Obs().Snapshot()
+	return metricsFromSnapshot(nw.net.System().Obs().Snapshot())
+}
+
+// metricsFromSnapshot assembles the typed Metrics view from one registry
+// snapshot; Network.Metrics and the cluster's per-AP metrics share it so
+// the two views can never drift.
+func metricsFromSnapshot(snap obs.Snapshot) Metrics {
 	return Metrics{
 		QueueWait:            histogramFromSnapshot(snap.Histograms[obs.MetricQueueWaitSeconds]),
 		JobDuration:          histogramFromSnapshot(snap.Histograms[obs.MetricJobDurationSeconds]),

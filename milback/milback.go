@@ -8,6 +8,14 @@
 // node and senses its orientation, and the payload flows uplink or downlink
 // over OAQFM tones selected from the orientation estimate.
 //
+// A Cluster scales the same protocol past the paper's single-AP testbed
+// (its §9.5 network-scale discussion): NewCluster builds one engine per
+// access point, shards nodes across them with a consistent-hash ring
+// keyed on 1 m grid cells, hands roaming nodes off at grant boundaries,
+// and serializes co-channel APs that fall inside the link-budget
+// interference radius. Network is a 1-AP Cluster wrapper and keeps its
+// exact fixed-seed behaviour.
+//
 // Quick start:
 //
 //	net, _ := milback.NewNetwork()
@@ -42,7 +50,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/node"
-	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
@@ -60,7 +67,7 @@ const (
 	MaxUplinkRate = 160e6
 )
 
-// Option configures a Network.
+// Option configures a Network or a Cluster.
 type Option func(*options)
 
 type options struct {
@@ -69,6 +76,22 @@ type options struct {
 	seed       int64
 	jobTimeout time.Duration
 	debugAddr  string
+
+	// Cluster-only layout options (see cluster.go).
+	aps             int
+	layout          []APPlacement
+	interfRadius    float64
+	interfRadiusSet bool
+}
+
+// defaultOptions is the shared baseline of NewNetwork and NewCluster: the
+// paper's prototype configuration in the default indoor scene, seed 1.
+func defaultOptions() options {
+	return options{
+		cfg:   core.DefaultConfig(),
+		scene: rfsim.DefaultIndoorScene(),
+		seed:  1,
+	}
 }
 
 // WithSeed fixes the network's base random seed (default 1). Per-node seed
@@ -107,48 +130,46 @@ func WithJobTimeout(d time.Duration) Option {
 // Network is a MilBack deployment: one AP serving any number of backscatter
 // nodes by spatial-division multiplexing. All methods are safe for
 // concurrent use.
+//
+// A Network is a single-AP Cluster under the hood; Cluster is the multi-AP
+// generalization (roaming, ring sharding, co-channel admission). The two
+// are bit-identical for the same seed and operation sequence.
 type Network struct {
-	net   *proto.Network
-	debug *obs.DebugServer
+	cluster *Cluster
+	// net is AP 0's scheduler — the Network facade's hot path, bypassing
+	// cluster bookkeeping a single AP does not need.
+	net *proto.Network
 }
 
 // NewNetwork creates a network with the paper's prototype configuration in
 // the default indoor scene. It returns ErrInvalidConfig if the scene is nil
-// or the system configuration is unusable.
+// or the system configuration is unusable, and rejects multi-AP options
+// (WithAPs, WithAPLayout — use NewCluster for those).
 func NewNetwork(opts ...Option) (*Network, error) {
-	o := options{
-		cfg:   core.DefaultConfig(),
-		scene: rfsim.DefaultIndoorScene(),
-		seed:  1,
-	}
+	o := defaultOptions()
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.scene == nil {
-		return nil, fmt.Errorf("%w: nil scene", ErrInvalidConfig)
+	if o.aps > 1 || len(o.layout) > 1 {
+		return nil, fmt.Errorf("%w: NewNetwork is single-AP; use NewCluster for multi-AP layouts", ErrInvalidConfig)
 	}
-	sys, err := core.NewSystem(o.cfg, o.scene)
+	c, err := newClusterFromOptions(o)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+		return nil, err
 	}
-	nw := &Network{net: proto.NewNetworkSeeded(sys, o.seed, o.jobTimeout)}
-	if o.debugAddr != "" {
-		if sys.Obs() == nil {
-			return nil, fmt.Errorf("%w: debug server requires observability (DisableObservability is set)", ErrInvalidConfig)
-		}
-		nw.debug, err = obs.StartDebugServer(o.debugAddr, sys.Obs())
-		if err != nil {
-			return nil, fmt.Errorf("%w: %w", ErrInvalidConfig, err)
-		}
-	}
-	return nw, nil
+	return &Network{cluster: c, net: c.aps[0].net}, nil
 }
+
+// Cluster returns the single-AP cluster backing this network, for code
+// that wants the NodeID-addressed context-first API over the same
+// deployment. Node handles from Join and NodeIDs from the cluster address
+// the same sessions.
+func (nw *Network) Cluster() *Cluster { return nw.cluster }
 
 // Close shuts down the network's airtime scheduler. Operations in flight or
 // queued fail with ErrClosed, as does any later call. Close is idempotent.
 func (nw *Network) Close() {
-	nw.net.Close()
-	_ = nw.debug.Close()
+	nw.cluster.Close()
 }
 
 // Stats is a snapshot of network-wide counters maintained by the airtime
@@ -181,7 +202,8 @@ type Stats struct {
 	//
 	// Deprecated: use Network.Metrics().QueueWait, which carries the bucket
 	// bounds alongside the counts. This field remains populated (from the
-	// same underlying histogram) for compatibility.
+	// same underlying histogram) for compatibility and will be removed in
+	// PR 9.
 	QueueWait [proto.QueueWaitBuckets]uint64
 }
 
@@ -212,7 +234,12 @@ type Node struct {
 	sess *proto.Session
 	n    *node.Node
 	net  *Network
+	id   NodeID
 }
+
+// ID returns the node's cluster-wide handle, usable with the backing
+// Cluster's NodeID-addressed API (see Network.Cluster).
+func (n *Node) ID() NodeID { return n.id }
 
 // Join adds a node at position (x, y) meters — the AP sits at the origin
 // facing +x — with the given orientation in degrees (0 = FSA boresight
@@ -220,14 +247,11 @@ type Node struct {
 // orientations within ±30°. Join returns ErrInvalidCoordinate for NaN or
 // ±Inf arguments.
 func (nw *Network) Join(x, y, orientationDeg float64) (*Node, error) {
-	if !finite(x, y, orientationDeg) {
-		return nil, fmt.Errorf("%w: join at (%g, %g) facing %g", ErrInvalidCoordinate, x, y, orientationDeg)
-	}
-	sess, err := nw.net.Join(rfsim.Point{X: x, Y: y}, orientationDeg)
+	cn, err := nw.cluster.join(context.Background(), x, y, orientationDeg)
 	if err != nil {
-		return nil, fmt.Errorf("milback: %w", err)
+		return nil, err
 	}
-	return &Node{sess: sess, n: sess.Node(), net: nw}, nil
+	return &Node{sess: cn.sess, n: cn.sess.Node(), net: nw, id: cn.id}, nil
 }
 
 // Nodes returns the joined nodes in join order.
@@ -235,7 +259,7 @@ func (nw *Network) Nodes() []*Node {
 	sessions := nw.net.Sessions()
 	out := make([]*Node, len(sessions))
 	for i, s := range sessions {
-		out[i] = &Node{sess: s, n: s.Node(), net: nw}
+		out[i] = &Node{sess: s, n: s.Node(), net: nw, id: NodeID(s.ID())}
 	}
 	return out
 }
@@ -356,6 +380,13 @@ func (n *Node) exchange(ctx context.Context, dir waveform.Direction, data []byte
 	if err != nil {
 		return Exchange{}, fmt.Errorf("milback: %w", err)
 	}
+	return exchangeFromOutcome(out), nil
+}
+
+// exchangeFromOutcome maps a protocol packet outcome into the facade's
+// Exchange, with the Position in the serving AP's local frame (the cluster
+// adds its AP offset on top).
+func exchangeFromOutcome(out proto.PacketOutcome) Exchange {
 	return Exchange{
 		Data:               out.Payload,
 		BitErrors:          out.BitErrors,
@@ -365,7 +396,7 @@ func (n *Node) exchange(ctx context.Context, dir waveform.Direction, data []byte
 		NodeOrientationDeg: out.NodeOrientation.EstimateDeg,
 		AirtimeS:           out.AirtimeS,
 		NodeEnergyJ:        out.NodeEnergyJ,
-	}, nil
+	}
 }
 
 // TruePosition returns the node's ground-truth placement (for evaluating
@@ -384,11 +415,5 @@ func (n *Node) Move(x, y, orientationDeg float64) error {
 
 // MoveContext is Move honoring ctx while the operation waits for the beam.
 func (n *Node) MoveContext(ctx context.Context, x, y, orientationDeg float64) error {
-	if !finite(x, y, orientationDeg) {
-		return fmt.Errorf("%w: move to (%g, %g) facing %g", ErrInvalidCoordinate, x, y, orientationDeg)
-	}
-	if err := n.net.net.MoveContext(ctx, n.sess, rfsim.Point{X: x, Y: y}, orientationDeg); err != nil {
-		return fmt.Errorf("milback: %w", err)
-	}
-	return nil
+	return n.net.cluster.Move(ctx, n.id, x, y, orientationDeg)
 }

@@ -1,0 +1,57 @@
+#!/bin/sh
+# api_check.sh — public-API surface gate for the milback facade.
+#
+# Dumps the exported API of ./milback with `go doc -all`, normalizes it down
+# to declaration lines (docs and formatting churn stripped), and diffs it
+# against the committed golden in api/milback.txt. An intentional API change
+# regenerates the golden with
+#
+#   ./scripts/api_check.sh -update
+#
+# so every surface change shows up as a reviewable diff in the PR, and an
+# accidental one (a renamed method, a dropped Context variant, a widened
+# struct) fails `make verify`.
+set -eu
+
+cd "$(dirname "$0")/.."
+golden="api/milback.txt"
+
+normalize() {
+	# `go doc -all` prints declarations flush-left, declaration bodies
+	# (struct fields, const groups) tab-indented from the source, and doc
+	# prose indented by four spaces. Keeping flush-left and tab-indented
+	# lines and dropping comments leaves exactly the declaration surface:
+	# names, signatures, field types — not prose, which may churn freely.
+	# The package-clause line and everything from the first section header
+	# on is surface; the package-doc prose between them is not.
+	go doc -all ./milback \
+		| awk 'NR == 1 { print; next }
+		       /^(CONSTANTS|VARIABLES|FUNCTIONS|TYPES)$/ { insec = 1 }
+		       insec { print }' \
+		| awk '/^[^ ]/ || /^\t/' \
+		| grep -v -E '^[[:space:]]*//' | sed 's/[ \t]*$//'
+}
+
+if [ "${1:-}" = "-update" ]; then
+	mkdir -p api
+	normalize > "$golden"
+	echo "api_check: regenerated $golden"
+	exit 0
+fi
+
+if [ ! -f "$golden" ]; then
+	echo "api_check: missing $golden — run ./scripts/api_check.sh -update and commit it" >&2
+	exit 1
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+normalize > "$tmp"
+
+if ! diff -u "$golden" "$tmp"; then
+	echo "" >&2
+	echo "api_check: exported milback API drifted from $golden." >&2
+	echo "If the change is intentional, run ./scripts/api_check.sh -update and commit the diff." >&2
+	exit 1
+fi
+echo "api_check: milback API matches $golden"

@@ -8,6 +8,11 @@
 // Exits non-zero if anything is undocumented. Fields inside structs and
 // interface methods are not required to carry comments; grouped const/var
 // declarations pass if the group has a doc comment.
+//
+// It additionally audits deprecation notes: any exported identifier —
+// struct fields included — whose doc contains a "Deprecated:" paragraph
+// must name its replacement there ("use <replacement>"), so no deprecation
+// ever strands callers without a migration path.
 package main
 
 import (
@@ -32,7 +37,7 @@ func main() {
 		bad += checkDir(dir)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "docscheck: %d undocumented exported identifier(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s) (undocumented or pointer-less deprecated exported identifiers)\n", bad)
 		os.Exit(1)
 	}
 }
@@ -72,29 +77,71 @@ func checkDecl(fset *token.FileSet, decl ast.Decl) int {
 			report(fset, d.Pos(), "func", d.Name.Name)
 			return 1
 		}
+		return checkDeprecation(fset, d.Pos(), "func", d.Name.Name, d.Doc, d.Name.IsExported())
 	case *ast.GenDecl:
 		return checkGenDecl(fset, d)
 	}
 	return 0
 }
 
+// checkDeprecation enforces that an exported identifier carrying a
+// "Deprecated:" note names its replacement in the same note (the godoc
+// convention is "Deprecated: use X instead"). Without a pointer the
+// deprecation strands callers, so it counts as a finding.
+func checkDeprecation(fset *token.FileSet, pos token.Pos, kind, name string, doc *ast.CommentGroup, exported bool) int {
+	if !exported || doc == nil {
+		return 0
+	}
+	text := doc.Text()
+	i := strings.Index(text, "Deprecated:")
+	if i < 0 {
+		return 0
+	}
+	note := text[i:]
+	if strings.Contains(strings.ToLower(note), "use ") {
+		return 0
+	}
+	p := fset.Position(pos)
+	fmt.Printf("%s:%d: deprecated exported %s %s names no replacement (say \"use <replacement>\")\n",
+		filepath.ToSlash(p.Filename), p.Line, kind, name)
+	return 1
+}
+
 // checkGenDecl handles type/const/var declarations. A doc comment on the
 // grouped declaration covers every spec inside it; otherwise each exported
-// spec needs its own.
+// spec needs its own. Deprecation notes and struct fields are audited
+// regardless of where the doc comment sits.
 func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) int {
-	if d.Tok == token.IMPORT || d.Doc != nil {
+	if d.Tok == token.IMPORT {
 		return 0
 	}
 	bad := 0
 	for _, spec := range d.Specs {
 		switch s := spec.(type) {
 		case *ast.TypeSpec:
-			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+			// An unparenthesized `type` decl attaches its comment to the
+			// GenDecl, not the spec; fold the two for the deprecation audit.
+			doc := s.Doc
+			if doc == nil {
+				doc = d.Doc
+			}
+			if s.Name.IsExported() && doc == nil && s.Comment == nil {
 				report(fset, s.Pos(), "type", s.Name.Name)
 				bad++
 			}
+			bad += checkDeprecation(fset, s.Pos(), "type", s.Name.Name, doc, s.Name.IsExported())
+			if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+				bad += checkFields(fset, s.Name.Name, st)
+			}
 		case *ast.ValueSpec:
-			if s.Doc != nil || s.Comment != nil {
+			doc := s.Doc
+			if doc == nil {
+				doc = d.Doc
+			}
+			for _, name := range s.Names {
+				bad += checkDeprecation(fset, name.Pos(), d.Tok.String(), name.Name, doc, name.IsExported())
+			}
+			if doc != nil || s.Comment != nil {
 				continue
 			}
 			for _, name := range s.Names {
@@ -103,6 +150,19 @@ func checkGenDecl(fset *token.FileSet, d *ast.GenDecl) int {
 					bad++
 				}
 			}
+		}
+	}
+	return bad
+}
+
+// checkFields audits the deprecation notes of an exported struct's exported
+// fields (fields need no doc comment, but a deprecated one must still point
+// at its replacement).
+func checkFields(fset *token.FileSet, typeName string, st *ast.StructType) int {
+	bad := 0
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			bad += checkDeprecation(fset, name.Pos(), "field", typeName+"."+name.Name, f.Doc, name.IsExported())
 		}
 	}
 	return bad
