@@ -44,9 +44,9 @@ determinism:
 docs-check:
 	$(GO) run ./scripts/docscheck milback internal/obs internal/ap \
 		internal/capture internal/core internal/proto internal/dsp \
-		internal/fsa internal/node internal/parallel internal/rfsim \
-		internal/ring internal/track internal/waveform internal/ber \
-		internal/baseline internal/experiments
+		internal/fsa internal/motion internal/node internal/parallel \
+		internal/rfsim internal/ring internal/track internal/waveform \
+		internal/ber internal/baseline internal/experiments
 	./scripts/md_link_check.sh README.md DESIGN.md ROADMAP.md EXPERIMENTS.md
 
 # Public-API surface gate: the exported milback API (normalized `go doc
@@ -68,11 +68,11 @@ bench:
 bench-baseline:
 	./scripts/bench_baseline.sh
 
-# Detect-path perf gate: the committed PR 6 snapshot's steady-state capture
-# ns/op must not regress more than 10% against the PR 5 baseline (in
-# practice it must be faster — see DESIGN.md §13), and on >= 4-core
-# machines the GOMAXPROCS=4 capture must show >= 2x parallel speedup over
-# the serial pin (the check self-skips on narrower machines, where the
-# pinned workers just time-slice the same cores).
+# Perf gates: the committed PR 8 snapshot's steady-state capture ns/op must
+# not regress more than 10% against the PR 6 baseline; on >= 4-core machines
+# the GOMAXPROCS=4 capture must show >= 2x parallel speedup over the serial
+# pin (the check self-skips on narrower machines, where the pinned workers
+# just time-slice the same cores); and the moving-scene capture must stay
+# within 2x of the static steady state (incremental clutter invalidation).
 bench-compare:
-	./scripts/bench_compare.sh BENCH_pr5.json BENCH_pr6.json
+	./scripts/bench_compare.sh BENCH_pr6.json BENCH_pr8.json

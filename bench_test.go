@@ -23,6 +23,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/fsa"
+	"repro/internal/motion"
 	"repro/internal/node"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
@@ -669,6 +670,82 @@ func benchSynthesize(b *testing.B, fastOn bool) {
 // BenchmarkSynthesizeChirpsMulti measures the fast synthesis kernels.
 func BenchmarkSynthesizeChirpsMulti(b *testing.B) {
 	benchSynthesize(b, true)
+}
+
+// benchWalkPath is the slow drift the moving-scene benchmarks bind: 20 cm
+// over 200 s near the steady-state benchmark's node placement, so per-op
+// motion is realistic (sub-millimeter) and the node never leaves the
+// detection geometry no matter how many iterations run (PoseAt holds the
+// endpoint).
+func benchWalkPath(b *testing.B) *motion.Path {
+	p, err := motion.NewPath([]motion.Waypoint{
+		{T: 0, X: 4, Y: 0.5, OrientationDeg: 5},
+		{T: 200, X: 4.2, Y: 0.5, OrientationDeg: 5},
+	}, motion.Linear)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkCaptureMovingScene is BenchmarkCaptureSteadyState on a dynamic
+// scene: the node is trajectory-bound (advanced every op, dirtying its scene
+// entry) and an unrelated obstruction churns every op. With per-dependency
+// clutter invalidation both dirt kinds are cheap — node dirt never touches
+// the clutter cache and the blocker's segment crosses no clutter path — so
+// the PR 8 gate in scripts/bench_compare.sh holds this within 2x of the
+// static steady state.
+func BenchmarkCaptureMovingScene(b *testing.B) {
+	sys := core.MustNewSystem(core.DefaultConfig(), rfsim.DefaultIndoorScene())
+	n, err := sys.AddNode(rfsim.Point{X: 4, Y: 0.5}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.SetTrajectoryAt(n, "bench-walker", benchWalkPath(b), 0); err != nil {
+		b.Fatal(err)
+	}
+	// A cart rolls behind the AP: it dirties the scene every op but its
+	// segment never crosses an AP->clutter path (clutter sits at x >= 3).
+	scene := sys.AP.Scene()
+	scene.AddObstruction(rfsim.Obstruction{
+		Name: "cart", A: rfsim.Point{X: -3, Y: -3}, B: rfsim.Point{X: -3, Y: -2}, LossDB: 30,
+	})
+	if _, err := sys.Localize(n, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.AdvanceTrajectory(n, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+		y := -3 + 0.1*float64(i%10)
+		scene.MoveObstruction("cart", rfsim.Point{X: -3, Y: y}, rfsim.Point{X: -3, Y: y + 1})
+		if _, err := sys.Localize(n, int64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrajectoryAdvance isolates trajectory advancement itself — pose
+// sampling, mover bookkeeping, and the scene dirty record — without any
+// capture work.
+func BenchmarkTrajectoryAdvance(b *testing.B) {
+	sys := core.MustNewSystem(core.DefaultConfig(), rfsim.DefaultIndoorScene())
+	n, err := sys.AddNode(rfsim.Point{X: 4, Y: 0.5}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.SetTrajectoryAt(n, "bench-walker", benchWalkPath(b), 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.AdvanceTrajectory(n, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSynthesizeChirpsMultiRefSynth measures the reference path on the

@@ -124,6 +124,13 @@ func registry() []experiment {
 			}
 			return experiments.ExtDoppler([]float64{-5, -1, -0.3, 0.3, 1, 5, 20}, []int{8, 32, 128}, trials, seed).Summary()
 		}},
+		{"ext-mobility", "extension: localization RMSE vs trajectory speed (0.5-10 m/s)", func(seed int64, quick bool) experiments.Table {
+			trials := 10
+			if quick {
+				trials = 3
+			}
+			return experiments.ExtMobilityRMSE([]float64{0.5, 1, 2, 4, 7, 10}, 20, 3, trials, seed).Summary()
+		}},
 		{"ext-fading", "extension: Rician fading outage on the uplink", func(seed int64, quick bool) experiments.Table {
 			draws := 20000
 			if quick {

@@ -130,13 +130,18 @@ type AP struct {
 	// pool recycles frame and spectrum buffers (nil = allocate).
 	pool BufferPool
 
-	// Clutter-path cache: ClutterPaths is pure in (scene generation,
-	// antenna pointing, carrier), so identical captures — the steady state
-	// of a node being polled — reuse the derived geometry instead of
-	// re-walking the scene.
+	// Clutter-path cache: ClutterPaths is pure in (scene contents, antenna
+	// pointing, carrier), so identical captures — the steady state of a
+	// node being polled — reuse the derived geometry instead of re-walking
+	// the scene. Entries are keyed on (pointing, carrier) and synced to the
+	// scene's dirty log (syncClutterLocked): a mutation evicts only entries
+	// whose paths it can actually change, and eviction at capacity is
+	// deterministic LRU by clutterTick, never map-iteration order.
 	clutterMu    sync.Mutex
 	clutterOff   bool
-	clutterCache map[clutterKey][]rfsim.Path
+	clutterCache map[clutterKey]*clutterEntry
+	clutterGen   uint64
+	clutterTick  uint64
 
 	// fastOff disables the phasor-recurrence synthesis kernels and restores
 	// the per-sample-Sincos reference path (SetFastSynthEnabled). Like
@@ -164,6 +169,7 @@ type apObs struct {
 	clutterHits  *obs.Counter
 	clutterMiss  *obs.Counter
 	clutterInval *obs.Counter
+	clutterEvict *obs.Counter
 	tracer       *obs.Tracer
 
 	// fftReal times the fused subtraction-transform pass of the fast FFT
@@ -182,16 +188,25 @@ type apObs struct {
 
 // clutterKey identifies one clutter derivation. Pointing matters because
 // horn gain toward each reflector depends on where the beam points; the
-// carrier matters because path amplitude is frequency-dependent.
+// carrier matters because path amplitude is frequency-dependent. Scene
+// content changes are handled by the dirty-log sync, not the key.
 type clutterKey struct {
-	gen      uint64
 	pointing float64
 	carrier  float64
 }
 
+// clutterEntry is one cached derivation: the paths, the obstruction names
+// whose segments crossed some AP→reflector ray at derive time (the entry's
+// staleness footprint), and the last-use tick for LRU eviction.
+type clutterEntry struct {
+	paths []rfsim.Path
+	deps  []string
+	tick  uint64
+}
+
 // clutterCacheCap bounds retained entries. A cell only revisits a handful
 // of pointings (one per node plus the discovery scan grid), so eviction is
-// rare; on overflow or a scene-generation change the cache simply resets.
+// rare; on overflow the least-recently-used entry is dropped.
 const clutterCacheCap = 64
 
 // New builds an AP operating in the given scene (nil means an empty,
@@ -204,10 +219,11 @@ func New(cfg Config, scene *rfsim.Scene) (*AP, error) {
 		scene = rfsim.EmptyScene()
 	}
 	a := &AP{
-		cfg:   cfg,
-		tx:    &rfsim.Antenna{BoresightGainDBi: cfg.TxGainDBi, BeamwidthDeg: 18, SidelobeFloorDB: -25},
-		array: &rfsim.RxArray{Spacing: cfg.RxSpacingM},
-		scene: scene,
+		cfg:        cfg,
+		tx:         &rfsim.Antenna{BoresightGainDBi: cfg.TxGainDBi, BeamwidthDeg: 18, SidelobeFloorDB: -25},
+		array:      &rfsim.RxArray{Spacing: cfg.RxSpacingM},
+		scene:      scene,
+		clutterGen: scene.Generation(),
 	}
 	for i := range a.rx {
 		a.rx[i] = &rfsim.Antenna{BoresightGainDBi: cfg.RxGainDBi, BeamwidthDeg: 18, SidelobeFloorDB: -25}
@@ -264,6 +280,7 @@ func (a *AP) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		clutterHits:  reg.Counter(obs.MetricClutterHits),
 		clutterMiss:  reg.Counter(obs.MetricClutterMisses),
 		clutterInval: reg.Counter(obs.MetricClutterInvalidations),
+		clutterEvict: reg.Counter(obs.MetricClutterEvictions),
 		tracer:       tr,
 		fftReal:      reg.Histogram(obs.MetricFFTRealSeconds, obs.DurationBuckets()),
 		synthClutter: reg.Histogram(obs.MetricSynthClutterSeconds, obs.DurationBuckets()),
@@ -305,52 +322,126 @@ func (a *AP) SetClutterCacheEnabled(on bool) {
 	a.clutterMu.Lock()
 	a.clutterOff = !on
 	a.clutterCache = nil
+	a.clutterGen = a.scene.Generation()
 	a.clutterMu.Unlock()
 }
 
+// syncClutterLocked brings the cache up to the scene's current generation,
+// evicting incrementally from the dirty log. Three tiers, cheapest first:
+//
+//   - node-pose dirt: clutter geometry does not depend on node pose, so
+//     the entries survive untouched — a moving node costs nothing.
+//   - obstruction dirt: an entry is stale only if a dirty blocker crossed
+//     its rays at derive time (recorded in deps) or crosses them now. The
+//     AP→reflector rays are pointing-independent, so the "crosses now"
+//     test runs once per dirty name, not once per entry; a positive answer
+//     means every remaining entry is stale and the cache clears.
+//   - reflector dirt, an unreconstructible window (log overflow), or a
+//     blanket Invalidate: every entry carries one path per reflector, so
+//     the cache clears.
+//
+// Caller holds clutterMu.
+func (a *AP) syncClutterLocked() {
+	cur := a.scene.Generation()
+	if cur == a.clutterGen {
+		return
+	}
+	ds, ok := a.scene.DirtySince(a.clutterGen)
+	a.clutterGen = cur
+	if len(a.clutterCache) == 0 {
+		return
+	}
+	if !ok || len(ds.Reflectors) > 0 {
+		a.dropEntriesLocked(len(a.clutterCache))
+		return
+	}
+	for _, name := range ds.Obstructions {
+		if a.scene.ObstructionCrossesClutter(name) {
+			a.dropEntriesLocked(len(a.clutterCache))
+			return
+		}
+		for k, e := range a.clutterCache {
+			for _, dep := range e.deps {
+				if dep == name {
+					delete(a.clutterCache, k)
+					a.dropEntriesLocked(1)
+					break
+				}
+			}
+		}
+	}
+}
+
+// dropEntriesLocked folds n evicted entries into the cache counters; n
+// equal to the cache size means a full reset (the map is dropped). Caller
+// holds clutterMu.
+func (a *AP) dropEntriesLocked(n int) {
+	if n == len(a.clutterCache) {
+		a.clutterCache = nil
+	}
+	if o := a.obs; o != nil && n > 0 {
+		o.clutterInval.Inc()
+		o.clutterEvict.Add(uint64(n))
+	}
+}
+
+// evictLRULocked removes the least-recently-used entry — deterministic:
+// ticks are unique and monotonic, so the minimum is unambiguous regardless
+// of map iteration order. Caller holds clutterMu.
+func (a *AP) evictLRULocked() {
+	var victim clutterKey
+	best := uint64(math.MaxUint64)
+	for k, e := range a.clutterCache {
+		if e.tick < best {
+			best, victim = e.tick, k
+		}
+	}
+	delete(a.clutterCache, victim)
+	if o := a.obs; o != nil {
+		o.clutterEvict.Inc()
+	}
+}
+
 // clutterPaths returns the scene's clutter paths for the current pointing
-// at carrier fc, cached until the scene mutates or the beam moves. The
-// cached slice is shared and read-only downstream (the synthesizer only
-// reads Path fields).
+// at carrier fc, cached until a scene mutation touches them or LRU
+// pressure evicts them. The cached slice is shared and read-only
+// downstream (the synthesizer only reads Path fields).
 func (a *AP) clutterPaths(fc float64) []rfsim.Path {
-	key := clutterKey{gen: a.scene.Generation(), pointing: a.tx.PointingRad, carrier: fc}
+	key := clutterKey{pointing: a.tx.PointingRad, carrier: fc}
 	a.clutterMu.Lock()
 	if a.clutterOff {
 		a.clutterMu.Unlock()
 		return a.scene.ClutterPaths(a.tx, a.rx[0], fc)
 	}
-	if paths, ok := a.clutterCache[key]; ok {
+	a.syncClutterLocked()
+	if e, ok := a.clutterCache[key]; ok {
+		a.clutterTick++
+		e.tick = a.clutterTick
 		a.clutterMu.Unlock()
 		if o := a.obs; o != nil {
 			o.clutterHits.Inc()
 		}
-		return paths
+		return e.paths
 	}
 	a.clutterMu.Unlock()
 	if o := a.obs; o != nil {
 		o.clutterMiss.Inc()
 	}
-	paths := a.scene.ClutterPaths(a.tx, a.rx[0], fc)
+	paths, deps := a.scene.ClutterPathsWithDeps(a.tx, a.rx[0], fc)
 	a.clutterMu.Lock()
 	if !a.clutterOff {
-		stale := len(a.clutterCache) >= clutterCacheCap
-		for k := range a.clutterCache {
-			if k.gen != key.gen {
-				stale = true
-			}
-			break
+		// The scheduler serializes mutation against captures, but re-sync
+		// anyway so a derivation raced by a mutation is never installed
+		// against a stale generation.
+		a.syncClutterLocked()
+		if len(a.clutterCache) >= clutterCacheCap {
+			a.evictLRULocked()
 		}
-		if stale {
-			// A scene-generation change or overflow drops every retained
-			// entry; count the reset as one invalidation.
-			if o := a.obs; o != nil {
-				o.clutterInval.Inc()
-			}
+		if a.clutterCache == nil {
+			a.clutterCache = make(map[clutterKey]*clutterEntry)
 		}
-		if stale || a.clutterCache == nil {
-			a.clutterCache = make(map[clutterKey][]rfsim.Path)
-		}
-		a.clutterCache[key] = paths
+		a.clutterTick++
+		a.clutterCache[key] = &clutterEntry{paths: paths, deps: deps, tick: a.clutterTick}
 	}
 	a.clutterMu.Unlock()
 	return paths

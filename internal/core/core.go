@@ -100,6 +100,12 @@ type System struct {
 	capture *capture.Plane
 	reg     *obs.Registry
 	tracer  *obs.Tracer
+
+	// clock is the deployment's simulation time; movers binds nodes to
+	// trajectories (see motion.go). Both are mutated only on the airtime
+	// scheduler, like the nodes themselves.
+	clock  *Clock
+	movers map[*node.Node]*mover
 }
 
 // NewSystem builds a system operating in the given scene (nil = no clutter).
@@ -124,7 +130,7 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{AP: a, cfg: cfg}
+	s := &System{AP: a, cfg: cfg, clock: NewClock()}
 	var opts []capture.Option
 	if cfg.DisableCapturePool {
 		opts = append(opts, capture.NoPool())
@@ -199,6 +205,7 @@ func (s *System) RemoveNode(n *node.Node) bool {
 	for i, have := range s.nodes {
 		if have == n {
 			s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+			delete(s.movers, n)
 			return true
 		}
 	}
@@ -311,12 +318,19 @@ func (s *System) Localize(n *node.Node, seed int64) (LocalizationOutcome, error)
 	// The mirror artifact depends only on node geometry, not on the phase:
 	// build it once and share it across both capture requests.
 	mirror := s.mirrorPaths(n)
+	// Trajectory-bound nodes carry their sampled analytic range rate into
+	// the synthesized frames, so Doppler is consistent with the true
+	// motion; static nodes contribute exactly zero, leaving the historical
+	// output bit-identical.
+	radialV := s.RadialVelocityOf(n)
 
 	// Phase 1: ranging + angle (§5.1, both ports toggling).
+	tgt1 := localizationTarget(n)
+	tgt1.RadialVelocityMS = radialV
 	cap1, err := lease.Chirps(capture.Request{
 		Chirp:   c,
 		NChirps: s.cfg.LocalizationChirps,
-		Targets: []*ap.BackscatterTarget{localizationTarget(n)},
+		Targets: []*ap.BackscatterTarget{tgt1},
 		Extra:   mirror,
 	})
 	if err != nil {
@@ -330,10 +344,12 @@ func (s *System) Localize(n *node.Node, seed int64) (LocalizationOutcome, error)
 
 	// Phase 2: orientation (§5.2a, port B toggling only), continuing the
 	// lease's noise stream.
+	tgt2 := orientationTarget(n)
+	tgt2.RadialVelocityMS = radialV
 	cap2, err := lease.Chirps(capture.Request{
 		Chirp:   c,
 		NChirps: s.cfg.LocalizationChirps,
-		Targets: []*ap.BackscatterTarget{orientationTarget(n)},
+		Targets: []*ap.BackscatterTarget{tgt2},
 		Extra:   mirror,
 	})
 	if err != nil {

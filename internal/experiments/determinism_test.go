@@ -27,6 +27,11 @@ func TestParallelSweepsAreDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(e, f) {
 		t.Fatalf("ExtDoppler not deterministic")
 	}
+	m := ExtMobilityRMSE([]float64{1, 4}, 20, 1, 2, 99)
+	n := ExtMobilityRMSE([]float64{1, 4}, 20, 1, 2, 99)
+	if !reflect.DeepEqual(m, n) {
+		t.Fatalf("ExtMobilityRMSE not deterministic:\n%+v\n%+v", m, n)
+	}
 	// Different seeds genuinely differ.
 	g := Fig12aRanging([]float64{2, 5, 8}, 6, 100)
 	if reflect.DeepEqual(a, g) {

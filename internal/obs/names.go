@@ -31,6 +31,7 @@ const (
 	MetricClutterHits          = "ap.clutter.hits"
 	MetricClutterMisses        = "ap.clutter.misses"
 	MetricClutterInvalidations = "ap.clutter.invalidations"
+	MetricClutterEvictions     = "ap.clutter.evictions"
 	MetricSynthesizeSeconds    = "ap.synthesize_seconds"
 	MetricFFTSeconds           = "ap.fft_seconds"
 	MetricDetectSeconds        = "ap.detect_seconds"

@@ -68,6 +68,11 @@ type EngineConfig struct {
 	// touches a seed stream, so results stay deterministic. Nil admits
 	// unconditionally (the single-AP configuration).
 	Admit func() (release func())
+	// OnAirtime, if set, receives each successful job's simulated AirtimeS
+	// on the scheduler goroutine after the job completes. The network wires
+	// it to the deployment's simulation clock, so spending channel time is
+	// what moves simulated time forward.
+	OnAirtime func(seconds float64)
 	// Obs is the registry the scheduler's accounting lives in (queue-wait
 	// and job-duration histograms, outcome counters, airtime totals). When
 	// nil the engine creates a private registry so Stats always works; pass
@@ -430,6 +435,9 @@ func (e *Engine) execute(j *job) {
 		e.obs.bitErrors.Add(uint64(rep.BitErrors))
 		e.obs.bitsSent.Add(uint64(rep.BitsSent))
 		e.obs.airtime.Add(rep.AirtimeS)
+		if e.cfg.OnAirtime != nil && rep.AirtimeS > 0 {
+			e.cfg.OnAirtime(rep.AirtimeS)
+		}
 	}
 	j.done <- err
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/motion"
 	"repro/internal/node"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
@@ -254,8 +255,13 @@ func (n *Network) engine() *Engine {
 			Tracer:     n.sys.Tracer(),
 			Admit:      n.admit,
 			OnGrant: func() func() {
+				// Pose-at-grant: freeze every trajectory-bound node's pose
+				// (idempotent between advances) before the job's captures,
+				// then bracket the job with a capture lease.
+				n.sys.SyncMotion()
 				return n.sys.Capture().BeginJob().End
 			},
+			OnAirtime: func(seconds float64) { n.sys.Clock().Advance(seconds) },
 		})
 	})
 	return n.eng
@@ -418,13 +424,65 @@ func (n *Network) SenseOrientationContext(ctx context.Context, s *Session) (node
 }
 
 // MoveContext repositions the session's node through the airtime scheduler,
-// so a teleport never races a capture in flight.
+// so a teleport never races a capture in flight. The move lands in the
+// scene's dirty log as node dirt (the clutter cache ignores it — node pose
+// does not change clutter geometry).
 func (n *Network) MoveContext(ctx context.Context, s *Session, pos rfsim.Point, orientationDeg float64) error {
 	return n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
 		s.node.Position = pos
 		s.node.OrientationDeg = orientationDeg
+		n.sys.AP.Scene().TouchNode(s.nodeLabel())
 		return JobReport{}, nil
 	})
+}
+
+// nodeLabel is the session's identity in the scene dirty log.
+func (s *Session) nodeLabel() string { return fmt.Sprintf("session-%d", s.id) }
+
+// SetTrajectoryContext binds a trajectory to the session's node starting
+// at motion time t0 (a nil path unbinds), scheduled on the node's airtime
+// queue so the binding never races a capture. The node's pose snaps to
+// the trajectory immediately.
+func (n *Network) SetTrajectoryContext(ctx context.Context, s *Session, p *motion.Path, t0 float64) error {
+	return n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
+		return JobReport{}, n.sys.SetTrajectoryAt(s.node, s.nodeLabel(), p, t0)
+	})
+}
+
+// AdvanceTrajectoryContext moves the session's node dt seconds along its
+// bound trajectory and returns the new pose. Motion time belongs to the
+// node — it advances only through this scheduled job, never by sampling a
+// shared clock — so a node's pose sequence depends only on its own
+// operation order and stays deterministic under cluster concurrency.
+func (n *Network) AdvanceTrajectoryContext(ctx context.Context, s *Session, dt float64) (motion.Pose, error) {
+	var pose motion.Pose
+	err := n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
+		p, err := n.sys.AdvanceTrajectory(s.node, dt)
+		if err != nil {
+			return JobReport{}, err
+		}
+		pose = p
+		return JobReport{}, nil
+	})
+	return pose, err
+}
+
+// MeasureVelocityContext runs a Doppler burst of nChirps against the
+// session's node through the airtime scheduler, with the synthesized
+// ground-truth range rate taken from the node's trajectory sample (zero
+// for unbound nodes). Returns the estimated radial velocity in m/s,
+// positive receding.
+func (n *Network) MeasureVelocityContext(ctx context.Context, s *Session, nChirps int) (float64, error) {
+	var v float64
+	err := n.engine().Run(ctx, s.id, func(context.Context) (JobReport, error) {
+		got, err := s.sys.MeasureTrajectoryVelocity(s.node, nChirps, s.nextSeed())
+		if err != nil {
+			return JobReport{}, err
+		}
+		v = got
+		return JobReport{Localization: true}, nil
+	})
+	return v, err
 }
 
 // DiscoverContext runs a discovery sweep through the airtime scheduler as a

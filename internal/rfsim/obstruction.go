@@ -22,7 +22,22 @@ func (s *Scene) AddObstruction(o Obstruction) {
 		panic(fmt.Sprintf("rfsim: obstruction loss must be positive, got %g", o.LossDB))
 	}
 	s.Obstructions = append(s.Obstructions, o)
-	s.gen.Add(1)
+	s.record(DirtyObstruction, o.Name)
+}
+
+// MoveObstruction repositions the first obstruction with the given name,
+// reporting whether one was found. Unlike a Remove/Add pair it logs a
+// single dirty record, so incremental caches evict only entries whose
+// paths the blocker's old or new segment actually crosses.
+func (s *Scene) MoveObstruction(name string, a, b Point) bool {
+	for i, o := range s.Obstructions {
+		if o.Name == name {
+			s.Obstructions[i].A, s.Obstructions[i].B = a, b
+			s.record(DirtyObstruction, name)
+			return true
+		}
+	}
+	return false
 }
 
 // RemoveObstruction deletes the first obstruction with the given name,
@@ -31,7 +46,7 @@ func (s *Scene) RemoveObstruction(name string) bool {
 	for i, o := range s.Obstructions {
 		if o.Name == name {
 			s.Obstructions = append(s.Obstructions[:i], s.Obstructions[i+1:]...)
-			s.gen.Add(1)
+			s.record(DirtyObstruction, name)
 			return true
 		}
 	}

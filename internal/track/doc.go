@@ -4,9 +4,13 @@
 // range/angle fixes through a tracker is how a downstream system turns
 // 2–10 cm single-shot fixes into a smooth, velocity-aware pose stream.
 //
-// State is [x, y, vx, vy] in meters and meters/second; measurements are
-// (x, y) positions with isotropic standard deviation. All 4×4 linear
-// algebra is written out directly — no dependencies.
+// State is [x, y, z, vx, vy, vz] in meters and meters/second. Three fix
+// shapes are supported: full 3-D positions (Update); planar x/y positions
+// as produced by a single planar AP — the simulator's RF plane is 2-D, so
+// the z channel coasts on its prior (UpdatePlanar); and range-rate fixes
+// from the §5.2 Doppler pipeline, linearized on the line of sight to the
+// current estimate (UpdateRadialVelocity). All 6×6 linear algebra is
+// written out directly — no dependencies.
 //
 // The tracker is a downstream consumer of the §5 pipeline rather than part
 // of the paper's system; it demonstrates the localization stream's fitness

@@ -30,13 +30,17 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Filter is a 2-D constant-velocity Kalman filter. Construct with New, seed
-// with Init, then feed fixes through Update.
+// Filter is a 3-D constant-velocity Kalman filter over the state
+// [x y z vx vy vz]. Construct with New, seed with Init, then feed position
+// fixes (Update/UpdatePlanar) and range-rate fixes (UpdateRadialVelocity).
+// The simulation's RF plane is 2-D, so planar deployments use UpdatePlanar
+// and the z channel simply coasts on its prior; the state model is shared
+// with future elevation-capable arrays.
 type Filter struct {
 	cfg Config
-	// x is the state [x y vx vy]; P its covariance.
-	x [4]float64
-	p [4][4]float64
+	// x is the state [x y z vx vy vz]; P its covariance.
+	x [6]float64
+	p [6][6]float64
 	t float64
 	// initialized guards against updates before Init.
 	initialized bool
@@ -60,13 +64,15 @@ func MustNew(cfg Config) *Filter {
 }
 
 // Init seeds the filter with a first fix at time t (seconds).
-func (f *Filter) Init(x, y, t float64) {
-	f.x = [4]float64{x, y, 0, 0}
-	f.p = [4][4]float64{}
+func (f *Filter) Init(x, y, z, t float64) {
+	f.x = [6]float64{x, y, z, 0, 0, 0}
+	f.p = [6][6]float64{}
 	ps := f.cfg.InitialPosStd * f.cfg.InitialPosStd
 	vs := f.cfg.InitialVelStd * f.cfg.InitialVelStd
-	f.p[0][0], f.p[1][1] = ps, ps
-	f.p[2][2], f.p[3][3] = vs, vs
+	for axis := 0; axis < 3; axis++ {
+		f.p[axis][axis] = ps
+		f.p[axis+3][axis+3] = vs
+	}
 	f.t = t
 	f.initialized = true
 }
@@ -83,102 +89,159 @@ func (f *Filter) predict(t float64) error {
 	if dt == 0 {
 		return nil
 	}
-	// x' = F x with F = [[1 0 dt 0],[0 1 0 dt],[0 0 1 0],[0 0 0 1]].
-	f.x[0] += dt * f.x[2]
-	f.x[1] += dt * f.x[3]
+	// x' = F x with position rows gaining dt × the matching velocity row.
+	for axis := 0; axis < 3; axis++ {
+		f.x[axis] += dt * f.x[axis+3]
+	}
 	// P' = F P Fᵀ + Q (discrete white-acceleration model).
 	p := f.p
-	var fp [4][4]float64
-	for i := 0; i < 4; i++ {
-		for j := 0; j < 4; j++ {
-			fp[i][j] = p[i][j]
+	fp := p
+	// Apply F on the left: row(axis) += dt*row(axis+3).
+	for axis := 0; axis < 3; axis++ {
+		for j := 0; j < 6; j++ {
+			fp[axis][j] += dt * p[axis+3][j]
 		}
 	}
-	// Apply F on the left: row0 += dt*row2, row1 += dt*row3.
-	for j := 0; j < 4; j++ {
-		fp[0][j] += dt * p[2][j]
-		fp[1][j] += dt * p[3][j]
-	}
-	// Apply Fᵀ on the right: col0 += dt*col2, col1 += dt*col3.
-	var out [4][4]float64
-	for i := 0; i < 4; i++ {
-		for j := 0; j < 4; j++ {
-			out[i][j] = fp[i][j]
+	// Apply Fᵀ on the right: col(axis) += dt*col(axis+3).
+	out := fp
+	for i := 0; i < 6; i++ {
+		for axis := 0; axis < 3; axis++ {
+			out[i][axis] += dt * fp[i][axis+3]
 		}
-		out[i][0] += dt * fp[i][2]
-		out[i][1] += dt * fp[i][3]
 	}
 	q := f.cfg.ProcessNoiseAccel * f.cfg.ProcessNoiseAccel
 	dt2 := dt * dt
 	dt3 := dt2 * dt / 2
 	dt4 := dt2 * dt2 / 4
-	for _, axis := range []int{0, 1} {
+	for axis := 0; axis < 3; axis++ {
 		out[axis][axis] += q * dt4
-		out[axis][axis+2] += q * dt3
-		out[axis+2][axis] += q * dt3
-		out[axis+2][axis+2] += q * dt2
+		out[axis][axis+3] += q * dt3
+		out[axis+3][axis] += q * dt3
+		out[axis+3][axis+3] += q * dt2
 	}
 	f.p = out
 	f.t = t
 	return nil
 }
 
-// Update predicts to time t and fuses a position fix with isotropic
-// measurement standard deviation measStd.
-func (f *Filter) Update(x, y, measStd, t float64) error {
-	if !f.initialized {
-		return fmt.Errorf("track: Update before Init")
+// scalarUpdate fuses one scalar measurement z = h·x + noise with variance
+// r, where h is the (possibly non-axis-aligned) measurement row.
+func (f *Filter) scalarUpdate(h [6]float64, z, r float64) {
+	// S = h P hᵀ + r; K = P hᵀ / S.
+	var ph [6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			ph[i] += f.p[i][j] * h[j]
+		}
 	}
-	if measStd <= 0 {
-		return fmt.Errorf("track: measurement std must be positive, got %g", measStd)
+	s := r
+	for i := 0; i < 6; i++ {
+		s += h[i] * ph[i]
 	}
-	if err := f.predict(t); err != nil {
+	var k [6]float64
+	for i := 0; i < 6; i++ {
+		k[i] = ph[i] / s
+	}
+	innov := z
+	for i := 0; i < 6; i++ {
+		innov -= h[i] * f.x[i]
+	}
+	for i := 0; i < 6; i++ {
+		f.x[i] += k[i] * innov
+	}
+	// P = (I − K h) P, then symmetrize against round-off.
+	var np [6][6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			np[i][j] = f.p[i][j] - k[i]*ph[j]
+		}
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			m := (np[i][j] + np[j][i]) / 2
+			np[i][j], np[j][i] = m, m
+		}
+	}
+	f.p = np
+}
+
+// axisUpdate fuses a position fix on one axis.
+func (f *Filter) axisUpdate(axis int, z, r float64) {
+	var h [6]float64
+	h[axis] = 1
+	f.scalarUpdate(h, z, r)
+}
+
+// Update predicts to time t and fuses a full 3-D position fix with
+// isotropic measurement standard deviation measStd.
+func (f *Filter) Update(x, y, z, measStd, t float64) error {
+	if err := f.checkFix(measStd, t); err != nil {
 		return err
 	}
 	r := measStd * measStd
-	// Two scalar sequential updates (H rows are orthogonal unit vectors),
-	// equivalent to the joint update for diagonal R.
-	for axis, z := range []float64{x, y} {
-		s := f.p[axis][axis] + r
-		var k [4]float64
-		for i := 0; i < 4; i++ {
-			k[i] = f.p[i][axis] / s
-		}
-		innov := z - f.x[axis]
-		for i := 0; i < 4; i++ {
-			f.x[i] += k[i] * innov
-		}
-		// P = (I − K H) P, H picks out `axis`.
-		var np [4][4]float64
-		for i := 0; i < 4; i++ {
-			for j := 0; j < 4; j++ {
-				np[i][j] = f.p[i][j] - k[i]*f.p[axis][j]
-			}
-		}
-		// Symmetrize against round-off.
-		for i := 0; i < 4; i++ {
-			for j := i + 1; j < 4; j++ {
-				m := (np[i][j] + np[j][i]) / 2
-				np[i][j], np[j][i] = m, m
-			}
-		}
-		f.p = np
+	for axis, v := range []float64{x, y, z} {
+		f.axisUpdate(axis, v, r)
 	}
 	return nil
 }
 
+// UpdatePlanar predicts to time t and fuses an x/y position fix, leaving
+// the z channel on its prior — the fix a single planar AP produces.
+func (f *Filter) UpdatePlanar(x, y, measStd, t float64) error {
+	if err := f.checkFix(measStd, t); err != nil {
+		return err
+	}
+	r := measStd * measStd
+	f.axisUpdate(0, x, r)
+	f.axisUpdate(1, y, r)
+	return nil
+}
+
+// UpdateRadialVelocity predicts to time t and fuses a range-rate fix
+// (m/s, positive receding from the origin): the measurement model is the
+// velocity projected on the line of sight from the origin to the current
+// estimated position, linearized at the estimate. Useless before the
+// position has converged somewhat; callers feed position fixes first.
+func (f *Filter) UpdateRadialVelocity(v, measStd, t float64) error {
+	if err := f.checkFix(measStd, t); err != nil {
+		return err
+	}
+	r := math.Sqrt(f.x[0]*f.x[0] + f.x[1]*f.x[1] + f.x[2]*f.x[2])
+	if r == 0 {
+		return fmt.Errorf("track: radial velocity undefined at the origin")
+	}
+	h := [6]float64{0, 0, 0, f.x[0] / r, f.x[1] / r, f.x[2] / r}
+	f.scalarUpdate(h, v, measStd*measStd)
+	return nil
+}
+
+// checkFix validates and runs the common predict step of every update.
+func (f *Filter) checkFix(measStd, t float64) error {
+	if !f.initialized {
+		return fmt.Errorf("track: update before Init")
+	}
+	if measStd <= 0 {
+		return fmt.Errorf("track: measurement std must be positive, got %g", measStd)
+	}
+	return f.predict(t)
+}
+
 // State returns position and velocity.
-func (f *Filter) State() (x, y, vx, vy float64) {
-	return f.x[0], f.x[1], f.x[2], f.x[3]
+func (f *Filter) State() (x, y, z, vx, vy, vz float64) {
+	return f.x[0], f.x[1], f.x[2], f.x[3], f.x[4], f.x[5]
 }
 
 // PositionStd returns the 1-σ position uncertainty per axis.
-func (f *Filter) PositionStd() (sx, sy float64) {
-	return math.Sqrt(math.Max(f.p[0][0], 0)), math.Sqrt(math.Max(f.p[1][1], 0))
+func (f *Filter) PositionStd() (sx, sy, sz float64) {
+	return math.Sqrt(math.Max(f.p[0][0], 0)),
+		math.Sqrt(math.Max(f.p[1][1], 0)),
+		math.Sqrt(math.Max(f.p[2][2], 0))
 }
 
 // Speed returns the estimated speed magnitude.
-func (f *Filter) Speed() float64 { return math.Hypot(f.x[2], f.x[3]) }
+func (f *Filter) Speed() float64 {
+	return math.Sqrt(f.x[3]*f.x[3] + f.x[4]*f.x[4] + f.x[5]*f.x[5])
+}
 
 // Covariance returns a copy of the state covariance.
-func (f *Filter) Covariance() [4][4]float64 { return f.p }
+func (f *Filter) Covariance() [6][6]float64 { return f.p }

@@ -28,78 +28,140 @@ func TestUpdateBeforeInitFails(t *testing.T) {
 	if f.Initialized() {
 		t.Fatal("fresh filter should not be initialized")
 	}
-	if err := f.Update(0, 0, 0.1, 1); err == nil {
+	if err := f.Update(0, 0, 0, 0.1, 1); err == nil {
 		t.Fatal("Update before Init should fail")
 	}
-	f.Init(1, 2, 0)
+	if err := f.UpdatePlanar(0, 0, 0.1, 1); err == nil {
+		t.Fatal("UpdatePlanar before Init should fail")
+	}
+	f.Init(1, 2, 3, 0)
 	if !f.Initialized() {
 		t.Fatal("Init did not take")
 	}
-	x, y, vx, vy := f.State()
-	if x != 1 || y != 2 || vx != 0 || vy != 0 {
-		t.Fatalf("state = %g,%g,%g,%g", x, y, vx, vy)
+	x, y, z, vx, vy, vz := f.State()
+	if x != 1 || y != 2 || z != 3 || vx != 0 || vy != 0 || vz != 0 {
+		t.Fatalf("state = %g,%g,%g,%g,%g,%g", x, y, z, vx, vy, vz)
 	}
 }
 
 func TestUpdateValidation(t *testing.T) {
 	f := MustNew(DefaultConfig())
-	f.Init(0, 0, 10)
-	if err := f.Update(0, 0, 0, 11); err == nil {
+	f.Init(1, 0, 0, 10)
+	if err := f.Update(0, 0, 0, 0, 11); err == nil {
 		t.Error("zero measurement std should fail")
 	}
-	if err := f.Update(0, 0, 0.1, 9); err == nil {
+	if err := f.Update(0, 0, 0, 0.1, 9); err == nil {
 		t.Error("time reversal should fail")
 	}
-	if err := f.Update(0, 0, 0.1, 10); err != nil {
+	if err := f.Update(0, 0, 0, 0.1, 10); err != nil {
 		t.Errorf("same-time update should be fine: %v", err)
+	}
+	if err := f.UpdateRadialVelocity(1, 0.1, 10.1); err != nil {
+		t.Errorf("radial update off-origin should be fine: %v", err)
+	}
+	g := MustNew(DefaultConfig())
+	g.Init(0, 0, 0, 0)
+	if err := g.UpdateRadialVelocity(1, 0.1, 0); err == nil {
+		t.Error("radial velocity at the origin should fail (undefined LOS)")
 	}
 }
 
 func TestConvergesOnStaticTarget(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	f := MustNew(DefaultConfig())
-	f.Init(5+rng.NormFloat64()*0.1, -2+rng.NormFloat64()*0.1, 0)
+	f.Init(5+rng.NormFloat64()*0.1, -2+rng.NormFloat64()*0.1, 0, 0)
 	for i := 1; i <= 200; i++ {
 		tSec := float64(i) * 0.02
-		if err := f.Update(5+rng.NormFloat64()*0.05, -2+rng.NormFloat64()*0.05, 0.05, tSec); err != nil {
+		if err := f.UpdatePlanar(5+rng.NormFloat64()*0.05, -2+rng.NormFloat64()*0.05, 0.05, tSec); err != nil {
 			t.Fatal(err)
 		}
 	}
-	x, y, _, _ := f.State()
+	x, y, _, _, _, _ := f.State()
 	if math.Abs(x-5) > 0.03 || math.Abs(y+2) > 0.03 {
 		t.Errorf("converged to (%g, %g), want (5, -2)", x, y)
 	}
 	if f.Speed() > 0.2 {
 		t.Errorf("static target speed estimate = %g", f.Speed())
 	}
-	sx, sy := f.PositionStd()
+	sx, sy, _ := f.PositionStd()
 	if sx > 0.05 || sy > 0.05 {
 		t.Errorf("position std (%g, %g) should have shrunk", sx, sy)
 	}
 }
 
-func TestTracksConstantVelocity(t *testing.T) {
+func TestTracksConstantVelocity3D(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	f := MustNew(DefaultConfig())
-	vx, vy := 0.8, -0.3
-	pos := func(tSec float64) (float64, float64) { return 1 + vx*tSec, 2 + vy*tSec }
-	x0, y0 := pos(0)
-	f.Init(x0, y0, 0)
+	vx, vy, vz := 0.8, -0.3, 0.2
+	pos := func(tSec float64) (float64, float64, float64) {
+		return 1 + vx*tSec, 2 + vy*tSec, 1 + vz*tSec
+	}
+	x0, y0, z0 := pos(0)
+	f.Init(x0, y0, z0, 0)
 	meas := 0.05
 	for i := 1; i <= 300; i++ {
 		tSec := float64(i) * 0.02
-		px, py := pos(tSec)
-		if err := f.Update(px+rng.NormFloat64()*meas, py+rng.NormFloat64()*meas, meas, tSec); err != nil {
+		px, py, pz := pos(tSec)
+		err := f.Update(px+rng.NormFloat64()*meas, py+rng.NormFloat64()*meas,
+			pz+rng.NormFloat64()*meas, meas, tSec)
+		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	gx, gy, gvx, gvy := f.State()
-	px, py := pos(6)
-	if math.Abs(gx-px) > 0.05 || math.Abs(gy-py) > 0.05 {
-		t.Errorf("position (%g, %g), want (%g, %g)", gx, gy, px, py)
+	gx, gy, gz, gvx, gvy, gvz := f.State()
+	px, py, pz := pos(6)
+	if math.Abs(gx-px) > 0.05 || math.Abs(gy-py) > 0.05 || math.Abs(gz-pz) > 0.05 {
+		t.Errorf("position (%g, %g, %g), want (%g, %g, %g)", gx, gy, gz, px, py, pz)
 	}
-	if math.Abs(gvx-vx) > 0.15 || math.Abs(gvy-vy) > 0.15 {
-		t.Errorf("velocity (%g, %g), want (%g, %g)", gvx, gvy, vx, vy)
+	if math.Abs(gvx-vx) > 0.15 || math.Abs(gvy-vy) > 0.15 || math.Abs(gvz-vz) > 0.15 {
+		t.Errorf("velocity (%g, %g, %g), want (%g, %g, %g)", gvx, gvy, gvz, vx, vy, vz)
+	}
+}
+
+// TestPlanarLeavesZOnPrior: a planar fix must not move the z channel.
+func TestPlanarLeavesZOnPrior(t *testing.T) {
+	f := MustNew(DefaultConfig())
+	f.Init(1, 1, 1.3, 0)
+	for i := 1; i <= 50; i++ {
+		if err := f.UpdatePlanar(1, 1, 0.05, float64(i)*0.02); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, z, _, _, vz := f.State()
+	if z != 1.3 || vz != 0 {
+		t.Errorf("planar fixes moved z: z=%g vz=%g", z, vz)
+	}
+	sx, _, sz := f.PositionStd()
+	if sz <= sx {
+		t.Errorf("unobserved z std %g should exceed observed x std %g", sz, sx)
+	}
+}
+
+// TestRadialVelocityFixSharpensVelocity: with radial fixes along a radial
+// course, the speed estimate converges faster than position fixes alone.
+func TestRadialVelocityFixSharpensVelocity(t *testing.T) {
+	run := func(withRadial bool) float64 {
+		rng := rand.New(rand.NewSource(7))
+		f := MustNew(DefaultConfig())
+		v := 1.5 // receding straight down +x from the origin
+		f.Init(2, 0, 0, 0)
+		for i := 1; i <= 25; i++ {
+			tSec := float64(i) * 0.05
+			px := 2 + v*tSec
+			if err := f.UpdatePlanar(px+rng.NormFloat64()*0.05, rng.NormFloat64()*0.05, 0.05, tSec); err != nil {
+				t.Fatal(err)
+			}
+			if withRadial {
+				if err := f.UpdateRadialVelocity(v+rng.NormFloat64()*0.1, 0.1, tSec); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return math.Abs(f.Speed() - v)
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Errorf("radial fixes should sharpen speed: with=%.4f without=%.4f", with, without)
 	}
 }
 
@@ -113,18 +175,18 @@ func TestFilterBeatsRawMeasurements(t *testing.T) {
 		return 2 + 0.5*tSec, 0.5 * math.Sin(tSec)
 	}
 	x0, y0 := pos(0)
-	f.Init(x0, y0, 0)
+	f.Init(x0, y0, 0, 0)
 	var rawErr, filtErr float64
 	n := 0
 	for i := 1; i <= 400; i++ {
 		tSec := float64(i) * 0.02
 		px, py := pos(tSec)
 		mx, my := px+rng.NormFloat64()*meas, py+rng.NormFloat64()*meas
-		if err := f.Update(mx, my, meas, tSec); err != nil {
+		if err := f.UpdatePlanar(mx, my, meas, tSec); err != nil {
 			t.Fatal(err)
 		}
 		if i > 50 { // after settling
-			gx, gy, _, _ := f.State()
+			gx, gy, _, _, _, _ := f.State()
 			rawErr += math.Hypot(mx-px, my-py)
 			filtErr += math.Hypot(gx-px, gy-py)
 			n++
@@ -141,19 +203,28 @@ func TestCovarianceStaysSymmetricPSDProperty(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		f := MustNew(DefaultConfig())
-		f.Init(rng.NormFloat64(), rng.NormFloat64(), 0)
+		f.Init(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), 0)
 		tSec := 0.0
 		for i := 0; i < 50; i++ {
 			tSec += 0.01 + rng.Float64()*0.1
-			if err := f.Update(rng.NormFloat64()*5, rng.NormFloat64()*5, 0.01+rng.Float64(), tSec); err != nil {
+			var err error
+			switch i % 3 {
+			case 0:
+				err = f.Update(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5, 0.01+rng.Float64(), tSec)
+			case 1:
+				err = f.UpdatePlanar(rng.NormFloat64()*5, rng.NormFloat64()*5, 0.01+rng.Float64(), tSec)
+			default:
+				err = f.UpdateRadialVelocity(rng.NormFloat64(), 0.01+rng.Float64(), tSec)
+			}
+			if err != nil {
 				return false
 			}
 			p := f.Covariance()
-			for a := 0; a < 4; a++ {
+			for a := 0; a < 6; a++ {
 				if p[a][a] < 0 {
 					return false
 				}
-				for b := 0; b < 4; b++ {
+				for b := 0; b < 6; b++ {
 					if math.Abs(p[a][b]-p[b][a]) > 1e-9 {
 						return false
 					}
@@ -173,17 +244,17 @@ func TestCovarianceStaysSymmetricPSDProperty(t *testing.T) {
 
 func TestUncertaintyGrowsWithoutMeasurements(t *testing.T) {
 	f := MustNew(DefaultConfig())
-	f.Init(0, 0, 0)
-	if err := f.Update(0, 0, 0.01, 0.1); err != nil {
+	f.Init(0, 0, 0, 0)
+	if err := f.Update(0, 0, 0, 0.01, 0.1); err != nil {
 		t.Fatal(err)
 	}
-	sx0, _ := f.PositionStd()
+	sx0, _, _ := f.PositionStd()
 	// A long gap before the next update: predicted std at that time must
 	// exceed the post-update std.
-	if err := f.Update(0, 0, 10, 5); err != nil { // huge meas std ≈ predict-only
+	if err := f.Update(0, 0, 0, 10, 5); err != nil { // huge meas std ≈ predict-only
 		t.Fatal(err)
 	}
-	sx1, _ := f.PositionStd()
+	sx1, _, _ := f.PositionStd()
 	if sx1 <= sx0 {
 		t.Errorf("uncertainty should grow across a measurement gap: %g -> %g", sx0, sx1)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/motion"
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rfsim"
@@ -126,6 +127,12 @@ type clusterNode struct {
 	sess      *proto.Session
 	x, y      float64
 	orientDeg float64
+	// path is the node's bound trajectory in the cluster frame (nil when
+	// static) and motionT its motion time along it. The serving AP holds
+	// the same path translated into its local frame; both advance only
+	// through AdvanceTrajectory, under mu.
+	path    *motion.Path
+	motionT float64
 }
 
 // Cluster is a multi-AP MilBack deployment: N access points share one
@@ -241,6 +248,11 @@ func newClusterFromOptions(o options) (*Cluster, error) {
 		cell.rebalances = reg.Counter(obs.MetricRebalances)
 		cell.ringNodes = reg.Gauge(obs.MetricRingNodes)
 		c.aps = append(c.aps, cell)
+	}
+	// One timeline per deployment: every cell's airtime folds into AP 0's
+	// clock, so a node's simulation time survives handoffs unchanged.
+	for _, cell := range c.aps[1:] {
+		cell.sys.SetClock(c.aps[0].sys.Clock())
 	}
 	if o.debugAddr != "" {
 		reg := c.aps[0].sys.Obs()
@@ -541,6 +553,11 @@ func (c *Cluster) Move(ctx context.Context, id NodeID, x, y, orientationDeg floa
 	}
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
+	// A teleport overrides motion: unbind any trajectory first, or the next
+	// grant's pose sync would snap the node right back onto it.
+	if err := c.clearTrajectoryLocked(ctx, cn); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	target := c.ownerLocked(x, y)
 	c.mu.Unlock()

@@ -48,6 +48,11 @@ var (
 
 	// ErrUnknownNode reports a NodeID a Cluster has never issued.
 	ErrUnknownNode = errors.New("milback: unknown node")
+
+	// ErrNoTrajectory reports an AdvanceTrajectory on a node that has no
+	// trajectory bound (SetTrajectory was never called, or a Move/teleport
+	// cleared it).
+	ErrNoTrajectory = errors.New("milback: node has no trajectory")
 )
 
 // finite reports whether every argument is a usable coordinate (no NaN or

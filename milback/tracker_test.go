@@ -65,6 +65,110 @@ func TestTrackerFollowsMovingNode(t *testing.T) {
 	}
 }
 
+// TestTrackerStepNowFusesTrajectory drives a node along a trajectory on
+// the simulation clock and pins StepNow's fusion contract: steps are filed
+// at clock time, trajectory-bound nodes fuse a Doppler range-rate fix, and
+// the filtered track beats the raw fixes.
+func TestTrackerStepNowFusesTrajectory(t *testing.T) {
+	net, err := NewNetwork(WithSeed(47))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2, -0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.MeasurementStdM = 0.15 // honest per-fix std at this range
+
+	// Walk 0.5 m/s in +x for 6 s, localized at 20 Hz on the sim clock.
+	traj := Trajectory{Waypoints: []Waypoint{
+		{T: 0, X: 2, Y: -0.5, OrientationDeg: 0},
+		{T: 6, X: 5, Y: -0.5, OrientationDeg: 0},
+	}}
+	if err := n.SetTrajectory(traj); err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.05
+	var rawErr, filtErr, vxSum float64
+	cnt, vCnt := 0, 0
+	sawVelocityFix := false
+	var lastT float64
+	for i := 0; i <= 120; i++ {
+		pose, err := tr.StepNow()
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if i > 0 && pose.T <= lastT {
+			t.Fatalf("step %d filed at T=%g, not after %g — clock not advancing", i, pose.T, lastT)
+		}
+		lastT = pose.T
+		if pose.RadialVelocityMS != 0 {
+			sawVelocityFix = true
+		}
+		trueX, trueY, _ := n.TruePosition()
+		if i > 40 {
+			rawErr += math.Hypot(pose.Raw.X-trueX, pose.Raw.Y-trueY)
+			filtErr += math.Hypot(pose.X-trueX, pose.Y-trueY)
+			cnt++
+		}
+		if i > 80 {
+			vxSum += pose.VX
+			vCnt++
+		}
+		if _, err := n.AdvanceTrajectory(dt); err != nil {
+			t.Fatal(err)
+		}
+		net.AdvanceTime(dt)
+	}
+	if !sawVelocityFix {
+		t.Error("no step fused a Doppler range-rate fix")
+	}
+	rawErr /= float64(cnt)
+	filtErr /= float64(cnt)
+	if filtErr >= rawErr {
+		t.Errorf("filtered error %.4f m should beat raw %.4f m", filtErr, rawErr)
+	}
+	if meanVX := vxSum / float64(vCnt); math.Abs(meanVX-0.5) > 0.2 {
+		t.Errorf("mean VX %.2f, want 0.5", meanVX)
+	}
+}
+
+// TestTrackerStepNowStaticNode: StepNow on a static (unbound) node takes
+// no Doppler fix and leaves z on the prior.
+func TestTrackerStepNowStaticNode(t *testing.T) {
+	net, err := NewNetwork(WithSeed(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	n, err := net.Join(2.5, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := n.NewTracker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		pose, err := tr.StepNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pose.RadialVelocityMS != 0 {
+			t.Fatalf("static node fused a Doppler fix: %g m/s", pose.RadialVelocityMS)
+		}
+		if pose.Z != 0 || pose.VZ != 0 {
+			t.Fatalf("planar fixes moved z: z=%g vz=%g", pose.Z, pose.VZ)
+		}
+		net.AdvanceTime(0.05)
+	}
+}
+
 func TestTrackerErrors(t *testing.T) {
 	net, err := NewNetwork(WithSeed(43))
 	if err != nil {

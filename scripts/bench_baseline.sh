@@ -4,7 +4,8 @@
 # per-call implementation, the serial vs parallel §5.1 capture pipeline,
 # the PR 3 pooled capture plane vs its allocate-everything reference, and
 # the PR 5 synthesis kernels (fast phasor path vs the per-sample-Sincos
-# reference, plus the burst-synthesis microbenchmark pair).
+# reference, plus the burst-synthesis microbenchmark pair), and the PR 8
+# mobility pair (moving-scene capture vs static, trajectory advancement).
 # Run from the repository root:
 #
 #	./scripts/bench_baseline.sh [benchtime] [outfile]
@@ -20,7 +21,7 @@ BENCHTIME="${1:-300ms}"
 OUT="${2:-BENCH_seed.json}"
 
 go test -run '^$' \
-	-bench 'FFT2048PlanCached|FFT2048Uncached|RFFT2048|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState|SynthesizeChirpsMulti' \
+	-bench 'FFT2048PlanCached|FFT2048Uncached|RFFT2048|FFTBluestein1125PlanCached|CaptureSerial$|CaptureParallel|CaptureSteadyState|SynthesizeChirpsMulti|CaptureMovingScene|TrajectoryAdvance' \
 	-benchtime "$BENCHTIME" -benchmem . |
 	awk -v benchtime="$BENCHTIME" '
 	/^goos:/ { goos = $2 }

@@ -18,6 +18,12 @@
 # On narrower machines the pinned GOMAXPROCS=4 workers time-slice the same
 # cores and no speedup is physically possible, so the check is skipped with
 # a note.
+#
+# When the NEW snapshot carries the PR 8 mobility pair, a third gate holds
+# the moving-scene capture (trajectory-bound node + obstruction churn every
+# op) within MOVING_MAX_RATIO (default 2) times the static steady-state
+# ns/op: per-dependency clutter invalidation must keep dynamic scenes from
+# paying a full cache rebuild per localization.
 set -eu
 
 OLD="${1:-BENCH_pr3.json}"
@@ -25,11 +31,12 @@ NEW="${2:-BENCH_pr5.json}"
 GATE="${GATE:-BenchmarkCaptureSteadyState}"
 MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-10}"
 PAR_MIN_SPEEDUP="${PAR_MIN_SPEEDUP:-2}"
+MOVING_MAX_RATIO="${MOVING_MAX_RATIO:-2}"
 
 [ -f "$OLD" ] || { echo "bench_compare: missing baseline $OLD" >&2; exit 2; }
 [ -f "$NEW" ] || { echo "bench_compare: missing snapshot $NEW" >&2; exit 2; }
 
-awk -v oldfile="$OLD" -v newfile="$NEW" -v gate="$GATE" -v maxpct="$MAX_REGRESS_PCT" -v parmin="$PAR_MIN_SPEEDUP" '
+awk -v oldfile="$OLD" -v newfile="$NEW" -v gate="$GATE" -v maxpct="$MAX_REGRESS_PCT" -v parmin="$PAR_MIN_SPEEDUP" -v movmax="$MOVING_MAX_RATIO" '
 function parse(file, tbl, ord,   line, name, ns, n) {
 	n = 0
 	lastprocs = ""
@@ -87,5 +94,15 @@ BEGIN {
 		} else {
 			printf "OK: %s speedup %.2fx over %s (limit >= %sx)\n", par, speed, ser, parmin
 		}
+	}
+	# Moving-scene gate: dynamic scenes must keep the clutter-cache benefit.
+	mov = "BenchmarkCaptureMovingScene"; stat = "BenchmarkCaptureSteadyState"
+	if ((mov in b) && (stat in b) && b[stat] > 0) {
+		ratio = b[mov] / b[stat]
+		if (ratio > movmax + 0) {
+			printf "FAIL: %s is %.2fx the static %s, limit %sx\n", mov, ratio, stat, movmax
+			exit 1
+		}
+		printf "OK: %s %.2fx the static %s (limit <= %sx)\n", mov, ratio, stat, movmax
 	}
 }'
