@@ -8,9 +8,9 @@
 
 GO ?= go
 
-.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline bench-compare docs-check api-check
+.PHONY: verify lint vet fmt-check build test race determinism alloc-gate bench bench-baseline bench-compare docs-check api-check serve-smoke load-baseline
 
-verify: lint docs-check api-check build race determinism alloc-gate bench bench-compare
+verify: lint docs-check api-check build race determinism alloc-gate serve-smoke bench bench-compare
 
 # lint is the static gate: vet plus a gofmt cleanliness check.
 lint: vet fmt-check
@@ -38,16 +38,20 @@ race:
 determinism:
 	$(GO) test -run Determinis -race ./...
 
-# Documentation gate: every exported identifier in the public facade and
-# the internal packages must carry godoc, and the top-level docs' relative
+# Documentation gate: every exported identifier in the public facade, the
+# internal packages, and the command packages must carry godoc (commands
+# additionally need non-empty flag help strings), and the docs' relative
 # links must resolve. (gofmt/vet cleanliness is covered by lint.)
 docs-check:
 	$(GO) run ./scripts/docscheck milback internal/obs internal/ap \
 		internal/capture internal/core internal/proto internal/dsp \
 		internal/fsa internal/motion internal/node internal/parallel \
 		internal/rfsim internal/ring internal/track internal/waveform \
-		internal/ber internal/baseline internal/experiments
-	./scripts/md_link_check.sh README.md DESIGN.md ROADMAP.md EXPERIMENTS.md
+		internal/ber internal/baseline internal/experiments \
+		internal/serve internal/loadgen \
+		cmd/milback-sim cmd/milback-report cmd/milback-serve cmd/milback-loadgen
+	./scripts/md_link_check.sh README.md DESIGN.md ROADMAP.md EXPERIMENTS.md \
+		docs/OPERATIONS.md
 
 # Public-API surface gate: the exported milback API (normalized `go doc
 # -all` dump) must match the committed api/milback.txt golden; intentional
@@ -68,11 +72,24 @@ bench:
 bench-baseline:
 	./scripts/bench_baseline.sh
 
-# Perf gates: the committed PR 8 snapshot's steady-state capture ns/op must
-# not regress more than 10% against the PR 6 baseline; on >= 4-core machines
+# Serving-layer smoke: start milback-serve, drive a short loadgen burst,
+# require zero errors, a clean SIGTERM drain (exit 0) and pidfile removal.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Regenerate the committed serving baseline (benchmarks + offered-load
+# sweep) — BENCH_pr9.json by default.
+load-baseline:
+	./scripts/load_baseline.sh
+
+# Perf gates: the committed PR 9 snapshot's steady-state capture ns/op must
+# not regress more than 10% against the PR 8 baseline; on >= 4-core machines
 # the GOMAXPROCS=4 capture must show >= 2x parallel speedup over the serial
 # pin (the check self-skips on narrower machines, where the pinned workers
-# just time-slice the same cores); and the moving-scene capture must stay
-# within 2x of the static steady state (incremental clutter invalidation).
+# just time-slice the same cores); the moving-scene capture must stay
+# within 2x of the static steady state (incremental clutter invalidation);
+# and the serving gates hold the "ref" offered-load row to <= 1% errors
+# (p95/goodput comparison self-skips while the older snapshot carries no
+# load rows).
 bench-compare:
-	./scripts/bench_compare.sh BENCH_pr6.json BENCH_pr8.json
+	./scripts/bench_compare.sh BENCH_pr8.json BENCH_pr9.json

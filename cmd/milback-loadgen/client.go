@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+// client maps loadgen operations onto the milback-serve HTTP API. It joins
+// the node fleet up front and keeps the id↔index mapping; the loadgen
+// Runner addresses nodes by index.
+type client struct {
+	base    string
+	http    *http.Client
+	payload []byte
+	rate    float64
+	ids     []uint64
+	pos     [][2]float64
+	hasTraj []bool
+	// moveSeq deterministically varies teleport targets per call.
+	moveSeq atomic.Uint64
+}
+
+func newClient(base string, payload int, rate float64) *client {
+	data := make([]byte, payload)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	return &client{
+		base:    base,
+		http:    &http.Client{},
+		payload: data,
+		rate:    rate,
+	}
+}
+
+// setup joins n nodes spread across the AP's field of view and binds
+// looping trajectories to the first churn fraction of them.
+func (c *client) setup(ctx context.Context, n int, churn float64, seed int64) error {
+	rng := loadgen.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		// Spread nodes over ranges 2–4 m and azimuths ±20° — all inside the
+		// default cell, deterministic per seed.
+		x := 2 + 2*rng.Float64()
+		y := -1 + 2*rng.Float64()
+		var join serve.JoinResponse
+		if err := c.call(ctx, http.MethodPost, "/v1/nodes",
+			serve.JoinRequest{X: x, Y: y, OrientationDeg: -10}, &join); err != nil {
+			return err
+		}
+		c.ids = append(c.ids, join.NodeID)
+		c.pos = append(c.pos, [2]float64{x, y})
+		c.hasTraj = append(c.hasTraj, false)
+	}
+	bound := int(churn * float64(n))
+	for i := 0; i < bound; i++ {
+		x, y := c.basePos(i)
+		traj := serve.TrajectoryRequest{Waypoints: []serve.WaypointJSON{
+			{T: 0, X: x, Y: y, OrientationDeg: -10},
+			{T: 30, X: x + 0.5, Y: y, OrientationDeg: -10},
+		}}
+		if err := c.call(ctx, http.MethodPut, c.nodePath(i, "trajectory"), traj, nil); err != nil {
+			return err
+		}
+		c.hasTraj[i] = true
+	}
+	return nil
+}
+
+func (c *client) basePos(i int) (x, y float64) {
+	return c.pos[i][0], c.pos[i][1]
+}
+
+func (c *client) nodePath(i int, op string) string {
+	return fmt.Sprintf("/v1/nodes/%d/%s", c.ids[i], op)
+}
+
+// do executes one operation; this is the loadgen.Do hook.
+func (c *client) do(ctx context.Context, kind loadgen.OpKind, nodeIdx int) error {
+	switch kind {
+	case loadgen.OpLocalize:
+		return c.call(ctx, http.MethodPost, c.nodePath(nodeIdx, "localize"), nil, nil)
+	case loadgen.OpSend:
+		return c.call(ctx, http.MethodPost, c.nodePath(nodeIdx, "send"),
+			serve.ExchangeRequest{Data: c.payload, BitRate: c.rate}, nil)
+	case loadgen.OpDeliver:
+		return c.call(ctx, http.MethodPost, c.nodePath(nodeIdx, "deliver"),
+			serve.ExchangeRequest{Data: c.payload, BitRate: c.rate}, nil)
+	case loadgen.OpMove:
+		if c.hasTraj[nodeIdx] {
+			return c.call(ctx, http.MethodPost, c.nodePath(nodeIdx, "advance"),
+				serve.AdvanceRequest{DT: 0.05}, nil)
+		}
+		// Teleport in a small deterministic orbit around the base position.
+		x, y := c.basePos(nodeIdx)
+		seq := c.moveSeq.Add(1)
+		dx := 0.05 * float64(seq%5)
+		return c.call(ctx, http.MethodPost, c.nodePath(nodeIdx, "move"),
+			serve.MoveRequest{X: x + dx, Y: y, OrientationDeg: -10}, nil)
+	}
+	return fmt.Errorf("loadgen client: unknown op %v", kind)
+}
+
+// call issues one JSON request; any non-2xx status is an error carrying
+// the server's message.
+func (c *client) call(ctx context.Context, method, path string, body, out any) error {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e serve.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}

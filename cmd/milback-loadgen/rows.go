@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/loadgen"
+)
+
+// loadRow is one machine-readable load point, written under the "load" key
+// of a BENCH_*.json document. scripts/bench_compare.sh greps these by key,
+// so each row is emitted on one line.
+type loadRow struct {
+	Name        string  `json:"name"`
+	Mode        string  `json:"mode"`
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	GoodputQPS  float64 `json:"goodput_qps"`
+	Ops         uint64  `json:"ops"`
+	Errors      uint64  `json:"errors"`
+	ErrorRate   float64 `json:"error_rate"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Ref         bool    `json:"ref"`
+}
+
+func row(r loadgen.Result, ref float64) loadRow {
+	name := fmt.Sprintf("load/qps=%g", r.OfferedQPS)
+	if r.Mode == "closed" {
+		name = fmt.Sprintf("load/workers=%d", r.Workers)
+	}
+	return loadRow{
+		Name:        name,
+		Mode:        r.Mode,
+		OfferedQPS:  r.OfferedQPS,
+		AchievedQPS: r.AchievedQPS,
+		GoodputQPS:  r.GoodputQPS,
+		Ops:         r.Ops,
+		Errors:      r.Errors,
+		ErrorRate:   r.ErrorRate(),
+		P50Ms:       ms(r.Latency.P50),
+		P95Ms:       ms(r.Latency.P95),
+		P99Ms:       ms(r.Latency.P99),
+		Ref:         r.Mode == "open" && ref > 0 && r.OfferedQPS == ref,
+	}
+}
+
+// writeRows inserts the load rows into path. An existing JSON document
+// (the BENCH_*.json written by scripts/bench_baseline.sh) keeps all its
+// other keys; a missing file becomes a fresh document holding only "load".
+// Rows are rendered one per line so the awk parsers in
+// scripts/bench_compare.sh can key on field names.
+func writeRows(path string, results []loadgen.Result, ref float64) error {
+	doc := map[string]json.RawMessage{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("%s exists but is not a JSON object: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	var rows []string
+	for _, r := range results {
+		b, err := json.Marshal(row(r, ref))
+		if err != nil {
+			return err
+		}
+		rows = append(rows, "    "+string(b))
+	}
+	doc["load"] = json.RawMessage("[\n" + strings.Join(rows, ",\n") + "\n  ]")
+
+	// Render with stable key order: the baseline keys first, then load.
+	order := []string{"goos", "goarch", "cpu", "gomaxprocs", "benchtime", "benchmarks", "load"}
+	var sb strings.Builder
+	sb.WriteString("{\n")
+	first := true
+	emit := func(k string, v json.RawMessage) {
+		if !first {
+			sb.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&sb, "  %q: %s", k, v)
+	}
+	seen := map[string]bool{}
+	for _, k := range order {
+		if v, ok := doc[k]; ok {
+			emit(k, v)
+			seen[k] = true
+		}
+	}
+	var rest []string
+	for k := range doc {
+		if !seen[k] {
+			rest = append(rest, k)
+		}
+	}
+	sort.Strings(rest)
+	for _, k := range rest {
+		emit(k, doc[k])
+	}
+	sb.WriteString("\n}\n")
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

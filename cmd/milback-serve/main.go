@@ -1,0 +1,90 @@
+// Command milback-serve runs the simulated mmWave backscatter network as a
+// long-running HTTP service: a milback.Cluster behind the JSON session API
+// (join, localize, send, deliver, move, trajectories, discover, stats),
+// with the lifecycle contract a supervisor expects.
+//
+//	milback-serve -addr :8080 -aps 2 -debug-addr localhost:6060 -pidfile /run/milback.pid
+//
+// Flags:
+//
+//	-addr        API listen address (":0" picks a free port, printed on stderr)
+//	-aps         number of access points in the default line layout
+//	-seed        random seed for the cluster physics
+//	-anechoic    remove the indoor clutter from every AP's scene
+//	-job-timeout per-operation scheduler timeout (Go duration; 0 = none)
+//	-debug-addr  serve /debug/vars and /debug/pprof on this address
+//	-pidfile     write the process PID here; removed on clean shutdown
+//	-grace       drain deadline after SIGTERM/SIGINT
+//
+// Signals:
+//
+//	SIGTERM/SIGINT  graceful drain: new requests get 503, in-flight
+//	                operations complete at their grant boundaries, then the
+//	                process exits 0.
+//	SIGHUP          clean restart of the debug server (same address); the
+//	                API plane is untouched.
+//
+// See docs/OPERATIONS.md for the endpoint reference and a worked load test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/milback"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "API listen address (host:port)")
+	aps := flag.Int("aps", 1, "number of access points in the default line layout")
+	seed := flag.Int64("seed", 1, "random seed for the cluster physics")
+	anechoic := flag.Bool("anechoic", false, "remove indoor clutter from every AP's scene")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-operation scheduler timeout (0 = none)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+	pidfile := flag.String("pidfile", "", "write the process PID to this file; removed on clean shutdown")
+	grace := flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM/SIGINT")
+	flag.Parse()
+
+	opts := []milback.Option{milback.WithSeed(*seed), milback.WithAPs(*aps)}
+	if *anechoic {
+		opts = append(opts, milback.WithEmptyScene())
+	}
+	if *jobTimeout > 0 {
+		opts = append(opts, milback.WithJobTimeout(*jobTimeout))
+	}
+	cluster, err := milback.NewCluster(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := serve.NewDaemon(cluster, serve.Options{
+		Addr:         *addr,
+		DebugAddr:    *debugAddr,
+		PidFile:      *pidfile,
+		GraceTimeout: *grace,
+	})
+	if err != nil {
+		cluster.Close()
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "milback-serve: %d AP(s), API on http://%s\n", cluster.APCount(), d.Addr())
+	if *debugAddr != "" {
+		fmt.Fprintf(os.Stderr, "milback-serve: debug server on http://%s/debug/vars\n", d.DebugAddr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	if err := d.Run(sig); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "milback-serve: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "milback-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package loadgen
+
+import (
+	"math"
+	"time"
+)
+
+// RNG is a SplitMix64 stream: tiny, fast, and stable across Go versions, so
+// a committed seed reproduces the same arrival schedule forever (math/rand's
+// stream is not part of the Go 1 compatibility promise the way its API is).
+// The zero value is a valid stream seeded at 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a stream seeded with s.
+func NewRNG(s int64) *RNG {
+	return &RNG{state: uint64(s)}
+}
+
+// Uint64 advances the stream and returns the next 64 uniform bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponential draw with mean 1, via inversion of the
+// uniform draw. The 1-Float64 flip keeps the argument of Log in (0, 1] so
+// the result is always finite.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Arrivals is a Poisson arrival process: Next returns successive scheduled
+// arrival offsets from the start of the run, with exponential inter-arrival
+// gaps of mean 1/QPS. The sequence is fully determined by the RNG seed.
+type Arrivals struct {
+	rng *RNG
+	gap float64 // mean inter-arrival in seconds
+	at  float64 // accumulated offset in seconds
+}
+
+// NewArrivals builds a Poisson process at qps arrivals per second (qps must
+// be positive) over the given stream.
+func NewArrivals(rng *RNG, qps float64) *Arrivals {
+	return &Arrivals{rng: rng, gap: 1 / qps}
+}
+
+// Next returns the offset of the next arrival from the run start.
+func (a *Arrivals) Next() time.Duration {
+	a.at += a.rng.ExpFloat64() * a.gap
+	return time.Duration(a.at * float64(time.Second))
+}

@@ -1,0 +1,233 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Do executes one operation of the given kind against node nodeIdx (an
+// index in [0, Nodes), not a NodeID — the executor owns the mapping) and
+// reports whether it succeeded. The HTTP client in cmd/milback-loadgen is
+// one implementation; tests inject stubs.
+type Do func(ctx context.Context, kind OpKind, nodeIdx int) error
+
+// Runner drives a Do function under a workload mix. Configure the fields,
+// then call Open or Closed; a Runner is single-use per call but the same
+// value may run several sweeps sequentially.
+type Runner struct {
+	// Do executes one operation. Required.
+	Do Do
+	// Mix is the workload composition; zero value falls back to DefaultMix.
+	Mix Mix
+	// Nodes is the number of distinct node targets to spread operations
+	// over; values < 1 are treated as 1.
+	Nodes int
+	// Seed fixes the arrival schedule, operation kinds, and node targets.
+	Seed int64
+	// MaxInFlight caps concurrently executing operations in Open mode.
+	// Arrivals past the cap still queue (their latency keeps accruing from
+	// the intended arrival time — that is the point of open loop); the cap
+	// only bounds goroutines/sockets. Values < 1 default to 1024.
+	MaxInFlight int
+}
+
+// Result is one load point: what was offered, what came back, and the
+// latency tail. GoodputQPS counts only successful operations.
+type Result struct {
+	Mode        string  // "open" or "closed"
+	OfferedQPS  float64 // target arrival rate (open) or 0 (closed)
+	Workers     int     // closed-loop worker count, 0 for open
+	AchievedQPS float64 // completed ops (success + error) per second
+	GoodputQPS  float64 // successful ops per second
+	Ops         uint64  // operations completed
+	Errors      uint64  // operations that returned an error
+	Elapsed     time.Duration
+	Latency     Summary // successful-operation latencies
+	PerOp       [numOps]uint64
+}
+
+// ErrorRate returns Errors/Ops, or 0 when nothing ran.
+func (r Result) ErrorRate() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Ops)
+}
+
+func (r *Runner) mix() Mix {
+	if r.Mix.total() <= 0 {
+		return DefaultMix()
+	}
+	return r.Mix
+}
+
+func (r *Runner) nodes() int {
+	if r.Nodes < 1 {
+		return 1
+	}
+	return r.Nodes
+}
+
+// op is one scheduled operation.
+type op struct {
+	at   time.Duration // offset from run start (open loop only)
+	kind OpKind
+	node int
+}
+
+// Schedule precomputes the deterministic operation sequence for an open-loop
+// run: Poisson arrival offsets at qps over duration, with kinds and node
+// targets drawn from the same seeded stream. Exposed for tests; Open uses it
+// internally.
+func (r *Runner) Schedule(qps float64, duration time.Duration) []op {
+	rng := NewRNG(r.Seed)
+	arr := NewArrivals(rng, qps)
+	mix, nodes := r.mix(), r.nodes()
+	var ops []op
+	for {
+		at := arr.Next()
+		if at >= duration {
+			return ops
+		}
+		ops = append(ops, op{
+			at:   at,
+			kind: mix.Pick(rng.Float64()),
+			node: int(rng.Uint64() % uint64(nodes)),
+		})
+	}
+}
+
+// collector gathers completions from concurrent operations.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errs      uint64
+	perOp     [numOps]uint64
+}
+
+func (c *collector) done(kind OpKind, lat time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.perOp[kind]++
+	if err != nil {
+		c.errs++
+		return
+	}
+	c.latencies = append(c.latencies, lat)
+}
+
+func (c *collector) result(mode string, elapsed time.Duration) Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := Result{
+		Mode:    mode,
+		Ops:     uint64(len(c.latencies)) + c.errs,
+		Errors:  c.errs,
+		Elapsed: elapsed,
+		Latency: Summarize(c.latencies),
+		PerOp:   c.perOp,
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(res.Ops) / elapsed.Seconds()
+		res.GoodputQPS = float64(len(c.latencies)) / elapsed.Seconds()
+	}
+	return res
+}
+
+// Open drives the Do function on a Poisson arrival schedule at qps for the
+// given duration, then waits for in-flight operations to finish. Latency is
+// measured from each operation's intended arrival time, so server-side
+// queueing under overload shows up in the tail instead of throttling the
+// generator (no coordinated omission). Returns early with ctx's error if the
+// context dies mid-run; operations already in flight are still awaited.
+func (r *Runner) Open(ctx context.Context, qps float64, duration time.Duration) (Result, error) {
+	if r.Do == nil {
+		return Result{}, errors.New("loadgen: Runner.Do is nil")
+	}
+	if qps <= 0 || duration <= 0 {
+		return Result{}, errors.New("loadgen: Open needs positive qps and duration")
+	}
+	maxInFlight := r.MaxInFlight
+	if maxInFlight < 1 {
+		maxInFlight = 1024
+	}
+	ops := r.Schedule(qps, duration)
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	col := &collector{}
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	var ctxErr error
+dispatch:
+	for _, o := range ops {
+		if wait := o.at - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				ctxErr = ctx.Err()
+				break dispatch
+			}
+		}
+		wg.Add(1)
+		go func(o op) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			err := r.Do(ctx, o.kind, o.node)
+			// Latency from the intended arrival, not the dispatch time:
+			// scheduler lag and semaphore waits are charged to the run.
+			col.done(o.kind, time.Since(start)-o.at, err)
+		}(o)
+	}
+	wg.Wait()
+	res := col.result("open", time.Since(start))
+	res.OfferedQPS = qps
+	return res, ctxErr
+}
+
+// Closed runs the given number of workers issuing operations back to back
+// until duration elapses. Latency is per-operation service time; throughput
+// self-limits to what Do sustains. Each worker draws kinds and targets from
+// its own seed-derived stream, so the per-worker operation sequence is
+// deterministic even though interleaving is not.
+func (r *Runner) Closed(ctx context.Context, workers int, duration time.Duration) (Result, error) {
+	if r.Do == nil {
+		return Result{}, errors.New("loadgen: Runner.Do is nil")
+	}
+	if workers < 1 || duration <= 0 {
+		return Result{}, errors.New("loadgen: Closed needs workers >= 1 and positive duration")
+	}
+	mix, nodes := r.mix(), r.nodes()
+	runCtx, cancel := context.WithTimeout(ctx, duration)
+	defer cancel()
+	col := &collector{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := NewRNG(r.Seed + int64(w)*0x9e37 + 1)
+			for runCtx.Err() == nil {
+				kind := mix.Pick(rng.Float64())
+				node := int(rng.Uint64() % uint64(nodes))
+				t0 := time.Now()
+				err := r.Do(runCtx, kind, node)
+				if runCtx.Err() != nil && err != nil {
+					// The deadline tore down this op mid-flight; do not
+					// count the artifact as a server error.
+					return
+				}
+				col.done(kind, time.Since(t0), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	res := col.result("closed", time.Since(start))
+	res.Workers = workers
+	return res, ctx.Err()
+}

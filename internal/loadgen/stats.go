@@ -1,0 +1,62 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-th percentile (p in [0, 100]) of samples by the
+// nearest-rank method: the ceil(p/100*N)-th smallest sample, with p=0 mapped
+// to the minimum. It sorts a copy, so the input order is preserved. An empty
+// slice yields 0.
+func Percentile(samples []time.Duration, p float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Summary condenses a sample set into the tail statistics the gates use.
+type Summary struct {
+	Count int
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Mean  time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes count, mean, max and the gate percentiles in one pass
+// over samples (plus one sort inside Percentile).
+func Summarize(samples []time.Duration) Summary {
+	s := Summary{Count: len(samples)}
+	if s.Count == 0 {
+		return s
+	}
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = sum / time.Duration(s.Count)
+	s.P50 = Percentile(samples, 50)
+	s.P95 = Percentile(samples, 95)
+	s.P99 = Percentile(samples, 99)
+	return s
+}

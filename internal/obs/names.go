@@ -54,6 +54,16 @@ const (
 	MetricRebalances  = "cluster.rebalances"
 	MetricRingNodes   = "cluster.ring_nodes"
 
+	// Serving layer (internal/serve): HTTP request accounting for
+	// milback-serve. Requests counts every served API request, Errors the
+	// subset answered with a 4xx/5xx status, LatencySeconds the wall time
+	// from decode to response, and InFlight gauges currently-executing
+	// handlers (the quantity SIGTERM drains to zero).
+	MetricServeRequests       = "serve.requests"
+	MetricServeErrors         = "serve.errors"
+	MetricServeLatencySeconds = "serve.latency_seconds"
+	MetricServeInFlight       = "serve.in_flight"
+
 	// Sub-stage split of the synthesize stage, recorded by the fast
 	// synthesis kernels (core.Config.DisableFastSynth off): clutter-template
 	// fill, target-tone generation (including FSA gain-envelope

@@ -96,17 +96,6 @@ var queueWaitBounds = [...]time.Duration{
 	10 * time.Second,
 }
 
-// QueueWaitBuckets is the number of queue-wait histogram buckets.
-const QueueWaitBuckets = len(queueWaitBounds) + 1
-
-// QueueWaitBucketBounds returns the histogram bucket upper bounds (the last
-// bucket, index QueueWaitBuckets-1, is unbounded).
-func QueueWaitBucketBounds() []time.Duration {
-	out := make([]time.Duration, len(queueWaitBounds))
-	copy(out, queueWaitBounds[:])
-	return out
-}
-
 // Stats is a snapshot of the scheduler's accounting.
 type Stats struct {
 	// Exchanges counts completed payload exchanges (packets, reliable
@@ -125,15 +114,6 @@ type Stats struct {
 	Completed uint64
 	Failed    uint64
 	Cancelled uint64
-	// QueueWait is a histogram of wall-clock queue waits of executed jobs
-	// (see QueueWaitBucketBounds).
-	//
-	// Deprecated: use the obs registry's obs.MetricQueueWaitSeconds
-	// histogram (surfaced as milback.Network.Metrics().QueueWait), which is
-	// also where the job-duration distribution is. This field remains
-	// populated — mirrored from that histogram, never double-counted — and
-	// will be removed in PR 9.
-	QueueWait [QueueWaitBuckets]uint64
 }
 
 // JobReport is what an executed job tells the scheduler's accounting.
@@ -240,7 +220,7 @@ func (e *Engine) Close() {
 // across values is approximate under concurrent activity (quiesce the
 // scheduler for exact totals, as the tests do).
 func (e *Engine) Stats() Stats {
-	st := Stats{
+	return Stats{
 		Exchanges:     e.obs.exchanges.Value(),
 		Localizations: e.obs.locs.Value(),
 		BitErrors:     e.obs.bitErrors.Value(),
@@ -250,10 +230,6 @@ func (e *Engine) Stats() Stats {
 		Failed:        e.obs.failed.Value(),
 		Cancelled:     e.obs.cancelled.Value(),
 	}
-	// Mirror the deprecated QueueWait array from the histogram: same bucket
-	// bounds, one authoritative count.
-	copy(st.QueueWait[:], e.obs.queueWait.BucketCounts())
-	return st
 }
 
 // Run submits fn as a job on the given queue key and blocks until the

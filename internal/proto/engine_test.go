@@ -29,12 +29,10 @@ func TestEngineRunsJobsAndAccounts(t *testing.T) {
 	if st.AirtimeS != 1.25 {
 		t.Fatalf("airtime = %g, want 1.25", st.AirtimeS)
 	}
-	var waits uint64
-	for _, n := range st.QueueWait {
-		waits += n
-	}
-	if waits != 5 {
-		t.Fatalf("queue-wait histogram holds %d entries, want 5", waits)
+	// Queue waits land in the obs histogram (the scheduler's only wait
+	// accounting since the deprecated Stats mirror was removed).
+	if got := e.obs.queueWait.Count(); got != 5 {
+		t.Fatalf("queue-wait histogram holds %d entries, want 5", got)
 	}
 }
 

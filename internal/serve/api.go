@@ -1,0 +1,159 @@
+package serve
+
+import "repro/milback"
+
+// Wire types for the JSON HTTP API. Field names are the contract —
+// cmd/milback-loadgen and external clients decode these — so changes here
+// are API changes and belong in docs/OPERATIONS.md.
+
+// JoinRequest places a new node. POST /v1/nodes.
+type JoinRequest struct {
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	OrientationDeg float64 `json:"orientation_deg"`
+}
+
+// JoinResponse returns the handle for a joined node.
+type JoinResponse struct {
+	NodeID uint64 `json:"node_id"`
+}
+
+// NodesResponse lists live node handles. GET /v1/nodes.
+type NodesResponse struct {
+	Nodes []uint64 `json:"nodes"`
+}
+
+// PositionJSON is a milback.Position on the wire.
+type PositionJSON struct {
+	RangeM         float64 `json:"range_m"`
+	AzimuthDeg     float64 `json:"azimuth_deg"`
+	OrientationDeg float64 `json:"orientation_deg"`
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+}
+
+func positionJSON(p milback.Position) PositionJSON {
+	return PositionJSON{
+		RangeM:         p.RangeM,
+		AzimuthDeg:     p.AzimuthDeg,
+		OrientationDeg: p.OrientationDeg,
+		X:              p.X,
+		Y:              p.Y,
+	}
+}
+
+// ExchangeRequest carries a payload up (send) or down (deliver).
+// POST /v1/nodes/{id}/send and /v1/nodes/{id}/deliver. Data is base64
+// (standard encoding); BitRate is bits per second.
+type ExchangeRequest struct {
+	Data    []byte  `json:"data"`
+	BitRate float64 `json:"bit_rate"`
+}
+
+// ExchangeResponse reports a completed transfer.
+type ExchangeResponse struct {
+	Data        []byte       `json:"data"`
+	BitsSent    int          `json:"bits_sent"`
+	BitErrors   int          `json:"bit_errors"`
+	SNRdB       float64      `json:"snr_db"`
+	Position    PositionJSON `json:"position"`
+	AirtimeS    float64      `json:"airtime_s"`
+	NodeEnergyJ float64      `json:"node_energy_j"`
+}
+
+func exchangeJSON(e milback.Exchange) ExchangeResponse {
+	return ExchangeResponse{
+		Data:        e.Data,
+		BitsSent:    e.BitsSent,
+		BitErrors:   e.BitErrors,
+		SNRdB:       e.SNRdB,
+		Position:    positionJSON(e.Position),
+		AirtimeS:    e.AirtimeS,
+		NodeEnergyJ: e.NodeEnergyJ,
+	}
+}
+
+// MoveRequest teleports a node. POST /v1/nodes/{id}/move.
+type MoveRequest struct {
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	OrientationDeg float64 `json:"orientation_deg"`
+}
+
+// WaypointJSON is one milback.Waypoint on the wire.
+type WaypointJSON struct {
+	T              float64 `json:"t"`
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	Z              float64 `json:"z"`
+	OrientationDeg float64 `json:"orientation_deg"`
+}
+
+// TrajectoryRequest binds a trajectory to a node.
+// PUT /v1/nodes/{id}/trajectory. Interpolation 0 is linear (the only
+// scheme today, matching milback.InterpLinear).
+type TrajectoryRequest struct {
+	Waypoints     []WaypointJSON `json:"waypoints"`
+	Interpolation int            `json:"interpolation"`
+}
+
+// AdvanceRequest advances a node's trajectory (POST
+// /v1/nodes/{id}/advance) or the shared clock (POST /v1/clock/advance)
+// by DT seconds.
+type AdvanceRequest struct {
+	DT float64 `json:"dt"`
+}
+
+// PoseResponse reports a node's pose after a trajectory advance.
+type PoseResponse struct {
+	X              float64 `json:"x"`
+	Y              float64 `json:"y"`
+	Z              float64 `json:"z"`
+	OrientationDeg float64 `json:"orientation_deg"`
+}
+
+// ClockResponse reports the simulation clock. GET /v1/clock,
+// POST /v1/clock/advance.
+type ClockResponse struct {
+	NowS float64 `json:"now_s"`
+}
+
+// DetectionJSON is one discovery hit. POST /v1/discover.
+type DetectionJSON struct {
+	AP         int     `json:"ap"`
+	RangeM     float64 `json:"range_m"`
+	AzimuthDeg float64 `json:"azimuth_deg"`
+	X          float64 `json:"x"`
+	Y          float64 `json:"y"`
+	SNRdB      float64 `json:"snr_db"`
+}
+
+// DiscoverResponse lists what a discovery sweep saw across all APs.
+type DiscoverResponse struct {
+	Detections []DetectionJSON `json:"detections"`
+}
+
+// StatsResponse mirrors milback.Stats. GET /v1/stats.
+type StatsResponse struct {
+	Exchanges     uint64  `json:"exchanges"`
+	Localizations uint64  `json:"localizations"`
+	BitErrors     uint64  `json:"bit_errors"`
+	BitsSent      uint64  `json:"bits_sent"`
+	AirtimeS      float64 `json:"airtime_s"`
+	Completed     uint64  `json:"completed"`
+	Failed        uint64  `json:"failed"`
+	Cancelled     uint64  `json:"cancelled"`
+}
+
+// HealthResponse answers /healthz. Status is "ok" or "draining".
+type HealthResponse struct {
+	Status   string `json:"status"`
+	APs      int    `json:"aps"`
+	Nodes    int    `json:"nodes"`
+	InFlight int    `json:"in_flight"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

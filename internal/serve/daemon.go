@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/milback"
+)
+
+// Options configures a Daemon around an existing cluster.
+type Options struct {
+	// Addr is the API listen address (host:port; ":0" picks a free port).
+	Addr string
+	// DebugAddr, when non-empty, serves /debug/vars and /debug/pprof on its
+	// own listener, exposing the serve.* registry.
+	DebugAddr string
+	// PidFile, when non-empty, is written with the process PID at start and
+	// removed on clean shutdown.
+	PidFile string
+	// GraceTimeout bounds the SIGTERM drain: how long to wait for in-flight
+	// operations to reach their grant boundary before giving up and
+	// force-closing. Zero means 30 s.
+	GraceTimeout time.Duration
+}
+
+// Daemon runs a Server with the process-lifecycle contract: pidfile,
+// debug endpoint, and signal-driven drain/restart. Construct with
+// NewDaemon, drive with Run.
+type Daemon struct {
+	opts    Options
+	cluster *milback.Cluster
+	srv     *Server
+	httpSrv *http.Server
+	ln      net.Listener
+
+	mu    sync.Mutex // guards debug: SIGHUP swaps it while DebugAddr reads it
+	debug *obs.DebugServer
+}
+
+// debugServer returns the current debug server under the lock.
+func (d *Daemon) debugServer() *obs.DebugServer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.debug
+}
+
+// NewDaemon binds the API listener, writes the pidfile, and starts the
+// debug server. The daemon takes ownership of cluster: a clean Run exit
+// closes it. On error nothing is left running.
+func NewDaemon(cluster *milback.Cluster, opts Options) (*Daemon, error) {
+	if opts.GraceTimeout <= 0 {
+		opts.GraceTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", opts.Addr, err)
+	}
+	d := &Daemon{
+		opts:    opts,
+		cluster: cluster,
+		srv:     NewServer(cluster, nil),
+		ln:      ln,
+	}
+	d.httpSrv = &http.Server{Handler: d.srv, ReadHeaderTimeout: 5 * time.Second}
+	if opts.DebugAddr != "" {
+		d.debug, err = obs.StartDebugServer(opts.DebugAddr, d.srv.Registry())
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	if opts.PidFile != "" {
+		pid := strconv.Itoa(os.Getpid()) + "\n"
+		if err := os.WriteFile(opts.PidFile, []byte(pid), 0o644); err != nil {
+			d.debug.Close()
+			ln.Close()
+			return nil, fmt.Errorf("serve: pidfile: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Addr returns the bound API address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// DebugAddr returns the bound debug address, or "" when disabled.
+func (d *Daemon) DebugAddr() string { return d.debugServer().Addr() }
+
+// Server returns the underlying handler, for tests and direct inspection.
+func (d *Daemon) Server() *Server { return d.srv }
+
+// Run serves the API until a termination signal arrives on sig, then
+// drains and returns. The channel carries os.Signal values so tests can
+// inject signals without touching process state; cmd/milback-serve feeds
+// it from signal.Notify.
+//
+//   - SIGTERM, SIGINT: graceful drain. New API requests get 503, in-flight
+//     requests run to their grant boundary (bounded by GraceTimeout), the
+//     cluster and listeners close, the pidfile is removed, and Run returns
+//     nil. A drain that exceeds GraceTimeout returns the shutdown error.
+//   - SIGHUP: clean restart of the debug server on its current address —
+//     the observability plane bounces; session requests are untouched.
+//
+// Run also returns if the HTTP server fails on its own (bad listener).
+func (d *Daemon) Run(sig <-chan os.Signal) error {
+	serveErr := make(chan error, 1)
+	go func() {
+		if err := d.httpSrv.Serve(d.ln); !errors.Is(err, http.ErrServerClosed) {
+			serveErr <- err
+		}
+	}()
+	for {
+		select {
+		case err := <-serveErr:
+			d.cleanup()
+			return err
+		case s := <-sig:
+			switch s {
+			case syscall.SIGHUP:
+				if err := d.restartDebug(); err != nil {
+					// The old server is already down; surface the failure
+					// rather than running blind.
+					d.cleanup()
+					return err
+				}
+			default: // SIGTERM, SIGINT, or anything else terminal
+				return d.drain()
+			}
+		}
+	}
+}
+
+// drain is the SIGTERM path: refuse new work, wait for in-flight grants,
+// then tear everything down.
+func (d *Daemon) drain() error {
+	d.srv.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), d.opts.GraceTimeout)
+	defer cancel()
+	// Shutdown stops accepting connections and waits for active handlers —
+	// each of which is blocked on a cluster job completing at its grant
+	// boundary — before returning.
+	err := d.httpSrv.Shutdown(ctx)
+	d.srv.WaitIdle()
+	d.cleanup()
+	return err
+}
+
+// cleanup releases everything the daemon owns. Idempotent.
+func (d *Daemon) cleanup() {
+	d.httpSrv.Close()
+	d.debugServer().Close()
+	d.cluster.Close()
+	if d.opts.PidFile != "" {
+		os.Remove(d.opts.PidFile)
+	}
+}
+
+// restartDebug bounces the debug server, rebinding the address it was
+// actually serving on (stable across SIGHUPs even when configured ":0").
+func (d *Daemon) restartDebug() error {
+	old := d.debugServer()
+	if old == nil {
+		return nil
+	}
+	addr := old.Addr()
+	old.Close()
+	ds, err := obs.StartDebugServer(addr, d.srv.Registry())
+	if err != nil {
+		return fmt.Errorf("serve: debug restart on %s: %w", addr, err)
+	}
+	d.mu.Lock()
+	d.debug = ds
+	d.mu.Unlock()
+	return nil
+}

@@ -74,15 +74,3 @@ func (n *Node) Power(a Activity, bitRate float64) (float64, error) {
 		return 0, fmt.Errorf("milback: unknown activity %v", a)
 	}
 }
-
-// PowerDraw returns the node's power consumption for a named activity.
-//
-// Deprecated: use Power with a typed Activity; PowerDraw remains as a thin
-// wrapper over ParseActivity + Power and will be removed in PR 9.
-func (n *Node) PowerDraw(activity string, bitRate float64) (float64, error) {
-	a, err := ParseActivity(activity)
-	if err != nil {
-		return 0, err
-	}
-	return n.Power(a, bitRate)
-}

@@ -790,9 +790,6 @@ func (c *Cluster) Stats() Stats {
 		total.Completed += s.Completed
 		total.Failed += s.Failed
 		total.Cancelled += s.Cancelled
-		for i, v := range s.QueueWait {
-			total.QueueWait[i] += v
-		}
 	}
 	return total
 }

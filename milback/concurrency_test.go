@@ -152,11 +152,7 @@ func TestStatsMatchPerExchangeSums(t *testing.T) {
 	if math.Abs(st.AirtimeS-wantAirtime) > 1e-9 {
 		t.Fatalf("airtime %g, want %g", st.AirtimeS, wantAirtime)
 	}
-	var waits uint64
-	for _, n := range st.QueueWait {
-		waits += n
-	}
-	if waits != uint64(count) {
+	if waits := net.Metrics().QueueWait.Count; waits != uint64(count) {
 		t.Fatalf("queue-wait histogram holds %d entries, want %d", waits, count)
 	}
 	if st.Failed != 0 || st.Cancelled != 0 {

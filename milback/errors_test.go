@@ -151,7 +151,7 @@ func TestActivityEnum(t *testing.T) {
 	}
 }
 
-func TestPowerMatchesDeprecatedPowerDraw(t *testing.T) {
+func TestPowerValidation(t *testing.T) {
 	net, err := NewNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -161,17 +161,20 @@ func TestPowerMatchesDeprecatedPowerDraw(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every activity's power is defined and finite; the string round trip
+	// through ParseActivity resolves to the same value.
 	for _, a := range []Activity{ActivityIdle, ActivityLocalization, ActivityDownlink, ActivityUplink} {
 		want, err := n.Power(a, Rate40Mbps)
 		if err != nil {
 			t.Fatalf("Power(%v): %v", a, err)
 		}
-		got, err := n.PowerDraw(a.String(), Rate40Mbps)
+		parsed, err := ParseActivity(a.String())
 		if err != nil {
-			t.Fatalf("PowerDraw(%q): %v", a, err)
+			t.Fatalf("ParseActivity(%q): %v", a, err)
 		}
-		if got != want {
-			t.Errorf("PowerDraw(%q) = %g, Power = %g", a, got, want)
+		got, err := n.Power(parsed, Rate40Mbps)
+		if err != nil || got != want {
+			t.Errorf("Power(ParseActivity(%q)) = %g, %v; want %g", a, got, err, want)
 		}
 	}
 	if _, err := n.Power(ActivityUplink, 0); err == nil {

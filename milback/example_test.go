@@ -27,7 +27,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	power, _ := node.PowerDraw("downlink", 0)
+	power, _ := node.Power(milback.ActivityDownlink, 0)
 	fmt.Printf("uplink: %s (%d bit errors)\n", up.Data, up.BitErrors)
 	fmt.Printf("downlink: %s (%d bit errors)\n", down.Data, down.BitErrors)
 	fmt.Printf("node power: %.0f mW\n", power*1e3)
@@ -37,9 +37,9 @@ func Example() {
 	// node power: 18 mW
 }
 
-// ExampleNode_PowerDraw reproduces the §9.6 headline numbers from the
+// ExampleNode_Power reproduces the §9.6 headline numbers from the
 // component power model.
-func ExampleNode_PowerDraw() {
+func ExampleNode_Power() {
 	net, err := milback.NewNetwork()
 	if err != nil {
 		log.Fatal(err)
@@ -48,8 +48,8 @@ func ExampleNode_PowerDraw() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	loc, _ := node.PowerDraw("localization", 0)
-	up, _ := node.PowerDraw("uplink", milback.Rate40Mbps)
+	loc, _ := node.Power(milback.ActivityLocalization, 0)
+	up, _ := node.Power(milback.ActivityUplink, milback.Rate40Mbps)
 	fmt.Printf("localization/downlink: %.0f mW\n", loc*1e3)
 	fmt.Printf("uplink at 40 Mbps: %.0f mW\n", up*1e3)
 	fmt.Printf("uplink energy: %.1f nJ/bit\n", up/milback.Rate40Mbps*1e9)

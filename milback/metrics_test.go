@@ -58,15 +58,14 @@ func TestMetricsAfterQuickstart(t *testing.T) {
 		t.Errorf("queue-wait histogram malformed: %+v", m.QueueWait)
 	}
 
-	// The deprecated Stats.QueueWait array mirrors the same histogram.
-	st := net.Stats()
-	var fromStats, fromMetrics uint64
-	for i := range st.QueueWait {
-		fromStats += st.QueueWait[i]
-		fromMetrics += m.QueueWait.Buckets[i]
+	// The histogram's bucket totals agree with its count (no entry lost
+	// between buckets and the overflow).
+	var fromBuckets uint64
+	for _, b := range m.QueueWait.Buckets {
+		fromBuckets += b
 	}
-	if fromStats != fromMetrics {
-		t.Errorf("Stats.QueueWait total %d != Metrics().QueueWait total %d", fromStats, fromMetrics)
+	if fromBuckets != m.QueueWait.Count {
+		t.Errorf("QueueWait buckets total %d != count %d", fromBuckets, m.QueueWait.Count)
 	}
 }
 

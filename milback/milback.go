@@ -196,21 +196,6 @@ type Stats struct {
 	Completed uint64
 	Failed    uint64
 	Cancelled uint64
-	// QueueWait is a histogram of how long jobs waited for the beam; bucket
-	// i counts waits below QueueWaitBucketBounds()[i], the last bucket is
-	// unbounded.
-	//
-	// Deprecated: use Network.Metrics().QueueWait, which carries the bucket
-	// bounds alongside the counts. This field remains populated (from the
-	// same underlying histogram) for compatibility and will be removed in
-	// PR 9.
-	QueueWait [proto.QueueWaitBuckets]uint64
-}
-
-// QueueWaitBucketBounds returns the upper bounds of the Stats.QueueWait
-// histogram buckets; the final bucket has no upper bound.
-func QueueWaitBucketBounds() []time.Duration {
-	return proto.QueueWaitBucketBounds()
 }
 
 // Stats returns a consistent snapshot of the network counters.
@@ -225,7 +210,6 @@ func (nw *Network) Stats() Stats {
 		Completed:     s.Completed,
 		Failed:        s.Failed,
 		Cancelled:     s.Cancelled,
-		QueueWait:     s.QueueWait,
 	}
 }
 

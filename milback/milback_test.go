@@ -134,7 +134,7 @@ func TestMove(t *testing.T) {
 	}
 }
 
-func TestPowerDraw(t *testing.T) {
+func TestPower(t *testing.T) {
 	net, err := NewNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -143,24 +143,24 @@ func TestPowerDraw(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	down, err := n.PowerDraw("downlink", 0)
+	down, err := n.Power(ActivityDownlink, 0)
 	if err != nil || math.Abs(down-18e-3) > 1e-6 {
 		t.Errorf("downlink power = %g (%v), want 18 mW", down, err)
 	}
-	up, err := n.PowerDraw("uplink", Rate40Mbps)
+	up, err := n.Power(ActivityUplink, Rate40Mbps)
 	if err != nil || math.Abs(up-32e-3) > 1e-6 {
 		t.Errorf("uplink power = %g (%v), want 32 mW", up, err)
 	}
-	if idle, _ := n.PowerDraw("idle", 0); idle != 0 {
+	if idle, _ := n.Power(ActivityIdle, 0); idle != 0 {
 		t.Errorf("idle power = %g", idle)
 	}
-	if loc, _ := n.PowerDraw("localization", 0); math.Abs(loc-18e-3) > 0.2e-3 {
+	if loc, _ := n.Power(ActivityLocalization, 0); math.Abs(loc-18e-3) > 0.2e-3 {
 		t.Errorf("localization power = %g", loc)
 	}
-	if _, err := n.PowerDraw("uplink", 0); err == nil {
+	if _, err := n.Power(ActivityUplink, 0); err == nil {
 		t.Error("uplink without rate should fail")
 	}
-	if _, err := n.PowerDraw("warp", 0); err == nil {
+	if _, err := ParseActivity("warp"); err == nil {
 		t.Error("unknown activity should fail")
 	}
 }

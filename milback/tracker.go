@@ -48,7 +48,7 @@ type TrackedPose struct {
 	// Raw is the unfiltered fix that fed this step.
 	Raw Position
 	// RadialVelocityMS is the Doppler fix fused this step (0 when none
-	// was taken — static nodes and the deprecated Step path).
+	// was taken — static nodes take planar fixes only).
 	RadialVelocityMS float64
 	// T is the simulation time the step was filed under.
 	T float64
@@ -69,16 +69,6 @@ func (tr *Tracker) StepNow() (TrackedPose, error) {
 // the beam.
 func (tr *Tracker) StepNowContext(ctx context.Context) (TrackedPose, error) {
 	return tr.step(ctx, tr.node.net.Now(), tr.node.HasTrajectory())
-}
-
-// Step localizes the node once at caller-supplied time t (seconds,
-// non-decreasing across calls) and folds the fix into the track.
-//
-// Deprecated: use StepNow, which reads the deployment's simulation clock
-// instead of a manually threaded timeline and fuses Doppler range-rate
-// fixes for trajectory-bound nodes.
-func (tr *Tracker) Step(t float64) (TrackedPose, error) {
-	return tr.step(context.Background(), t, false)
 }
 
 // step runs one fuse cycle at filter time t.

@@ -22,7 +22,9 @@ func TestTrackerFollowsMovingNode(t *testing.T) {
 	// mismatch), so tell the filter the honest per-fix std for this
 	// geometry instead of the default near-field 5 cm.
 	tr.MeasurementStdM = 0.15
-	// The node walks a straight line at 0.5 m/s in x, localized at 20 Hz.
+	// The node walks a straight line at 0.5 m/s in x, localized at 20 Hz on
+	// the simulation clock (Move teleports, so StepNow takes planar fixes
+	// only — no trajectory is bound).
 	vx := 0.5
 	var rawErr, filtErr, vxSum, vySum float64
 	cnt := 0
@@ -33,10 +35,11 @@ func TestTrackerFollowsMovingNode(t *testing.T) {
 		trueX := 2 + vx*tSec
 		trueY := -0.5
 		n.Move(trueX, trueY, 0)
-		pose, err := tr.Step(tSec)
+		pose, err := tr.StepNow()
 		if err != nil {
 			t.Fatalf("step %d: %v", i, err)
 		}
+		net.AdvanceTime(0.05)
 		last = pose
 		if i > 40 {
 			rawErr += math.Hypot(pose.Raw.X-trueX, pose.Raw.Y-trueY)
@@ -182,18 +185,15 @@ func TestTrackerErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Step(1.0); err != nil {
+	if _, err := tr.StepNow(); err != nil {
 		t.Fatal(err)
-	}
-	// Time going backwards is rejected.
-	if _, err := tr.Step(0.5); err == nil {
-		t.Fatal("time reversal should fail")
 	}
 	// A blocked node cannot be tracked.
 	if err := net.AddBlocker("person", 1.5, -0.5, 1.5, 0.5, 30); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Step(2.0); err == nil {
+	net.AdvanceTime(0.05)
+	if _, err := tr.StepNow(); err == nil {
 		t.Fatal("blocked step should fail")
 	}
 }

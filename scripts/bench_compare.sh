@@ -24,6 +24,14 @@
 # op) within MOVING_MAX_RATIO (default 2) times the static steady-state
 # ns/op: per-dependency clutter invalidation must keep dynamic scenes from
 # paying a full cache rebuild per localization.
+#
+# When the NEW snapshot carries a "load" array (the offered-load sweep from
+# cmd/milback-loadgen, PR 9), the serving gates run on the row marked
+# "ref": true: its error rate must stay at or below LOAD_MAX_ERR_PCT
+# (default 1%), and — when the OLD snapshot has a ref row too — p95 latency
+# must not regress more than LOAD_MAX_P95_PCT (default 10%) nor goodput
+# drop more than LOAD_MAX_GOODPUT_PCT (default 10%) at the reference
+# offered load. Snapshots without load rows skip these gates with a note.
 set -eu
 
 OLD="${1:-BENCH_pr3.json}"
@@ -32,6 +40,9 @@ GATE="${GATE:-BenchmarkCaptureSteadyState}"
 MAX_REGRESS_PCT="${MAX_REGRESS_PCT:-10}"
 PAR_MIN_SPEEDUP="${PAR_MIN_SPEEDUP:-2}"
 MOVING_MAX_RATIO="${MOVING_MAX_RATIO:-2}"
+LOAD_MAX_ERR_PCT="${LOAD_MAX_ERR_PCT:-1}"
+LOAD_MAX_P95_PCT="${LOAD_MAX_P95_PCT:-10}"
+LOAD_MAX_GOODPUT_PCT="${LOAD_MAX_GOODPUT_PCT:-10}"
 
 [ -f "$OLD" ] || { echo "bench_compare: missing baseline $OLD" >&2; exit 2; }
 [ -f "$NEW" ] || { echo "bench_compare: missing snapshot $NEW" >&2; exit 2; }
@@ -105,4 +116,64 @@ BEGIN {
 		}
 		printf "OK: %s %.2fx the static %s (limit <= %sx)\n", mov, ratio, stat, movmax
 	}
+}'
+
+# Serving-layer gates over the "load" arrays (offered-load sweep rows from
+# cmd/milback-loadgen; compact one-row-per-line JSON, keys without spaces).
+awk -v oldfile="$OLD" -v newfile="$NEW" \
+	-v maxerr="$LOAD_MAX_ERR_PCT" -v maxp95="$LOAD_MAX_P95_PCT" -v maxgood="$LOAD_MAX_GOODPUT_PCT" '
+function field(line, key,   pat) {
+	pat = "\"" key "\":[0-9.eE+-]+"
+	if (!match(line, pat)) return ""
+	return substr(line, RSTART + length(key) + 3, RLENGTH - length(key) - 3) + 0
+}
+# ref(file, row): loads the "ref": true load row into row[...]; returns
+# 1 when found, 0 when the file has no load rows.
+function refrow(file, row,   line, inload, found) {
+	inload = 0; found = 0
+	while ((getline line < file) > 0) {
+		if (line ~ /"load":/) inload = 1
+		if (!inload || line !~ /"offered_qps":/) continue
+		if (line !~ /"ref":true/) continue
+		row["qps"] = field(line, "offered_qps")
+		row["goodput"] = field(line, "goodput_qps")
+		row["err"] = field(line, "error_rate")
+		row["p95"] = field(line, "p95_ms")
+		found = 1
+	}
+	close(file)
+	return found
+}
+BEGIN {
+	if (!refrow(newfile, nw)) {
+		printf "skip: %s has no load rows; serving gates unenforced\n", newfile
+		exit 0
+	}
+	errpct = nw["err"] * 100
+	if (errpct > maxerr + 0) {
+		printf "FAIL: load ref @%g/s error rate %.2f%% exceeds %s%%\n", nw["qps"], errpct, maxerr
+		exit 1
+	}
+	printf "OK: load ref @%g/s error rate %.2f%% (limit %s%%)\n", nw["qps"], errpct, maxerr
+	if (!refrow(oldfile, od)) {
+		printf "skip: %s has no load rows; p95/goodput comparison unenforced\n", oldfile
+		exit 0
+	}
+	if (od["qps"] != nw["qps"])
+		printf "note: reference offered load changed %g/s -> %g/s; comparing anyway\n", od["qps"], nw["qps"]
+	p95pct = od["p95"] > 0 ? (nw["p95"] - od["p95"]) / od["p95"] * 100 : 0
+	if (p95pct > maxp95 + 0) {
+		printf "FAIL: load ref p95 regressed %+.1f%% (limit +%s%%): %.3f -> %.3f ms\n", \
+			p95pct, maxp95, od["p95"], nw["p95"]
+		exit 1
+	}
+	printf "OK: load ref p95 %.3f -> %.3f ms (%+.1f%%, limit +%s%%)\n", od["p95"], nw["p95"], p95pct, maxp95
+	goodpct = od["goodput"] > 0 ? (od["goodput"] - nw["goodput"]) / od["goodput"] * 100 : 0
+	if (goodpct > maxgood + 0) {
+		printf "FAIL: load ref goodput dropped %.1f%% (limit %s%%): %.1f -> %.1f ops/s\n", \
+			goodpct, maxgood, od["goodput"], nw["goodput"]
+		exit 1
+	}
+	printf "OK: load ref goodput %.1f -> %.1f ops/s (drop %.1f%%, limit %s%%)\n", \
+		od["goodput"], nw["goodput"], goodpct, maxgood
 }'

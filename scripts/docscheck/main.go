@@ -13,6 +13,10 @@
 // struct fields included — whose doc contains a "Deprecated:" paragraph
 // must name its replacement there ("use <replacement>"), so no deprecation
 // ever strands callers without a migration path.
+//
+// Command packages (cmd/...) get one more audit: every flag definition
+// (flag.String, flag.Bool, flag.Duration, ...) must carry a non-empty
+// usage string, so -help output never shows a bare flag.
 package main
 
 import (
@@ -61,6 +65,7 @@ func checkDir(dir string) int {
 			for _, decl := range f.Decls {
 				bad += checkDecl(fset, decl)
 			}
+			bad += checkFlagHelp(fset, f)
 		}
 		if !hasPkgDoc {
 			fmt.Printf("%s: package %s has no package comment\n", dir, pkg.Name)
@@ -165,6 +170,48 @@ func checkFields(fset *token.FileSet, typeName string, st *ast.StructType) int {
 			bad += checkDeprecation(fset, name.Pos(), "field", typeName+"."+name.Name, f.Doc, name.IsExported())
 		}
 	}
+	return bad
+}
+
+// flagCtors maps flag-package constructors to the index of their usage
+// argument (the ...Var forms take the name one position later).
+var flagCtors = map[string]int{
+	"Bool": 2, "Int": 2, "Int64": 2, "Uint": 2, "Uint64": 2,
+	"String": 2, "Float64": 2, "Duration": 2,
+	"BoolVar": 3, "IntVar": 3, "Int64Var": 3, "UintVar": 3, "Uint64Var": 3,
+	"StringVar": 3, "Float64Var": 3, "DurationVar": 3,
+}
+
+// checkFlagHelp flags flag definitions whose usage string is empty (or not
+// a plain string literal, which the audit cannot vouch for).
+func checkFlagHelp(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		idx, ok := flagCtors[sel.Sel.Name]
+		if !ok || len(call.Args) <= idx {
+			return true
+		}
+		lit, ok := call.Args[idx].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || len(lit.Value) <= 2 {
+			p := fset.Position(call.Pos())
+			fmt.Printf("%s:%d: flag.%s needs a non-empty literal usage string\n",
+				filepath.ToSlash(p.Filename), p.Line, sel.Sel.Name)
+			bad++
+		}
+		return true
+	})
 	return bad
 }
 

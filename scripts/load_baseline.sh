@@ -1,0 +1,57 @@
+#!/bin/sh
+# Regenerates a committed serving-layer baseline: runs the benchmark
+# baseline (bench_baseline.sh) into the target file, then starts a local
+# milback-serve daemon and sweeps it with cmd/milback-loadgen, merging the
+# offered-load rows into the same document under the "load" key. Run from
+# the repository root:
+#
+#	./scripts/load_baseline.sh [outfile] [qps-sweep] [ref-qps]
+#
+# Defaults: BENCH_pr9.json, a 10,25,50,100 ops/s sweep, reference 50.
+# scripts/bench_compare.sh gates the "ref": true row (error rate, and p95 /
+# goodput against the previous snapshot when it carries load rows too).
+# LOAD_SECS (default 5) sets the per-point duration; LOAD_BENCHTIME
+# (default 300ms) is forwarded to bench_baseline.sh.
+set -eu
+
+OUT="${1:-BENCH_pr9.json}"
+SWEEP="${2:-10,25,50,100}"
+REF="${3:-50}"
+SECS="${LOAD_SECS:-5}"
+BENCHTIME="${LOAD_BENCHTIME:-300ms}"
+
+./scripts/bench_baseline.sh "$BENCHTIME" "$OUT"
+
+TMP="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+	if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+		kill -9 "$SERVE_PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$TMP/milback-serve" ./cmd/milback-serve
+go build -o "$TMP/milback-loadgen" ./cmd/milback-loadgen
+
+"$TMP/milback-serve" -addr 127.0.0.1:0 -pidfile "$TMP/serve.pid" 2>"$TMP/serve.log" &
+SERVE_PID=$!
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR="$(sed -n 's#.*API on http://##p' "$TMP/serve.log" | head -n 1)"
+	[ -n "$ADDR" ] && break
+	kill -0 "$SERVE_PID" 2>/dev/null || { cat "$TMP/serve.log" >&2; exit 1; }
+	i=$((i + 1))
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "load_baseline: daemon never reported its address" >&2; exit 1; }
+
+"$TMP/milback-loadgen" -target "http://$ADDR" -qps "$SWEEP" -ref "$REF" \
+	-duration "${SECS}s" -nodes 4 -churn 0.25 -seed 7 -json "$OUT"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "load_baseline: wrote $OUT"

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Markdown link checker for the repo's top-level docs: every relative link
 # target in the given files (default README.md DESIGN.md ROADMAP.md) must
-# exist on disk. External links (http/https/mailto) and pure in-page
-# anchors (#...) are not fetched. Run from the repository root:
+# exist on disk, resolved against the linking file's own directory (so
+# docs/OPERATIONS.md can link ../README.md). External links
+# (http/https/mailto) and pure in-page anchors (#...) are not fetched. Run
+# from the repository root:
 #
 #	./scripts/md_link_check.sh [file.md ...]
 set -eu
@@ -26,6 +28,11 @@ for f in $FILES; do
 		# Strip any in-page anchor from a file link (DESIGN.md#sec).
 		path="${t%%#*}"
 		[ -n "$path" ] || continue
+		# Relative targets resolve from the linking file's directory.
+		case "$path" in
+		/*) ;;
+		*) path="$(dirname "$f")/$path" ;;
+		esac
 		if [ ! -e "$path" ]; then
 			echo "md_link_check: $f: broken link -> $t"
 			fail=1
