@@ -35,8 +35,12 @@ race:
 
 # Bit-exact reproducibility suite alone, under the race detector: catches a
 # scheduler or pooling change that stays race-free but breaks determinism.
+# Runs at GOMAXPROCS=1 and GOMAXPROCS=4 so both the degenerate-serial and
+# genuinely concurrent shapes of the intra-capture fan-out are pinned (the
+# tests that re-pin GOMAXPROCS internally are unaffected by the env value).
 determinism:
-	$(GO) test -run Determinis -race ./...
+	GOMAXPROCS=1 $(GO) test -run Determinis -race ./...
+	GOMAXPROCS=4 $(GO) test -run Determinis -race ./...
 
 # Documentation gate: every exported identifier in the public facade, the
 # internal packages, and the command packages must carry godoc (commands
@@ -82,14 +86,15 @@ serve-smoke:
 load-baseline:
 	./scripts/load_baseline.sh
 
-# Perf gates: the committed PR 9 snapshot's steady-state capture ns/op must
-# not regress more than 10% against the PR 8 baseline; on >= 4-core machines
-# the GOMAXPROCS=4 capture must show >= 2x parallel speedup over the serial
-# pin (the check self-skips on narrower machines, where the pinned workers
-# just time-slice the same cores); the moving-scene capture must stay
-# within 2x of the static steady state (incremental clutter invalidation);
-# and the serving gates hold the "ref" offered-load row to <= 1% errors
-# (p95/goodput comparison self-skips while the older snapshot carries no
-# load rows).
+# Perf gates: the committed PR 10 snapshot's steady-state capture ns/op must
+# not regress more than 10% against the PR 9 baseline; on >= 4-core machines
+# the GOMAXPROCS=4 pins (both the 32-chirp capture and the steady-state
+# localize pipeline) must show >= 2x speedup over their single-core rows,
+# keyed on each row's recorded gomaxprocs (the checks self-skip on narrower
+# machines, where the pinned workers just time-slice the same cores); the
+# moving-scene capture must stay within 1.5x of the static steady state
+# (incremental clutter invalidation); and the serving gates hold the "ref"
+# offered-load row to <= 1% errors (p95/goodput comparison self-skips while
+# the older snapshot carries no load rows).
 bench-compare:
-	./scripts/bench_compare.sh BENCH_pr8.json BENCH_pr9.json
+	./scripts/bench_compare.sh BENCH_pr9.json BENCH_pr10.json

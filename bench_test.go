@@ -633,6 +633,38 @@ func BenchmarkCaptureParallel4(b *testing.B) {
 	benchCapture(b, a, 32)
 }
 
+// BenchmarkCaptureParallel2 is the 2-core point on the same curve: with
+// BenchmarkCaptureSerial and BenchmarkCaptureParallel4 it shows how the
+// intra-capture fan-out scales with worker count.
+func BenchmarkCaptureParallel2(b *testing.B) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	a := ap.MustNew(ap.DefaultConfig(), rfsim.DefaultIndoorScene())
+	b.ResetTimer()
+	benchCapture(b, a, 32)
+}
+
+// BenchmarkCaptureSteadyStateProcs2 runs the full steady-state localization
+// pipeline with GOMAXPROCS pinned to 2 so the intra-capture worker pool
+// engages. On a 1-core machine the pin still forces the concurrent code
+// path, but the measured speedup only reflects real hardware parallelism —
+// scripts/bench_compare.sh keys its scaling gate on the recorded per-row
+// gomaxprocs AND the machine's core count.
+func BenchmarkCaptureSteadyStateProcs2(b *testing.B) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	benchCaptureSteadyState(b, core.DefaultConfig())
+}
+
+// BenchmarkCaptureSteadyStateProcs4 is the 4-core point: the bench_compare
+// gate requires ≥2x over the single-core BenchmarkCaptureSteadyState when
+// the machine actually has ≥4 cores.
+func BenchmarkCaptureSteadyStateProcs4(b *testing.B) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	benchCaptureSteadyState(b, core.DefaultConfig())
+}
+
 // benchSynthesize measures chirp-frame synthesis alone — no FFTs, no
 // detection — over a 64-chirp burst against a cluttered scene, the workload
 // the PR 5 kernels target. With the fast path the target declares its two

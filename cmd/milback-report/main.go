@@ -12,7 +12,9 @@
 //
 // With -trace FILE the command instead summarizes a pipeline-stage trace
 // written by milback-sim -trace (or milback.Network.WriteTrace): a markdown
-// table of span counts and durations per stage, no experiments run.
+// table of span counts, durations and per-stage parallel efficiency (summed
+// worker-busy time over wall time, for stages that fanned out), no
+// experiments run.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -135,7 +138,10 @@ func claims() []claim {
 }
 
 // summarizeTrace prints a markdown table aggregating a JSON Lines trace by
-// span name: count, total and mean duration, and the slowest single span.
+// span name: count, total and mean duration, the slowest single span, and —
+// for stages that fan out — the parallel efficiency (summed worker-busy time
+// over stage wall time, from the "<stage>.busy" companion spans). Busy
+// companions are folded into their parent stage's row rather than listed.
 func summarizeTrace(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -151,14 +157,28 @@ func summarizeTrace(path string) error {
 		totalNS     int64
 		maxNS       int64
 		first, last int64
+		busyNS      int64
+		busyCount   int
 	}
 	byName := make(map[string]*agg)
-	for _, s := range spans {
-		a := byName[s.Name]
+	get := func(name string) *agg {
+		a := byName[name]
 		if a == nil {
-			a = &agg{first: s.StartNS, last: s.StartNS}
-			byName[s.Name] = a
+			a = &agg{first: math.MaxInt64}
+			byName[name] = a
 		}
+		return a
+	}
+	listed := 0
+	for _, s := range spans {
+		if stage, ok := strings.CutSuffix(s.Name, obs.SpanBusySuffix); ok {
+			a := get(stage)
+			a.busyNS += s.DurNS
+			a.busyCount++
+			continue
+		}
+		listed++
+		a := get(s.Name)
 		a.count++
 		a.totalNS += s.DurNS
 		a.maxNS = max(a.maxNS, s.DurNS)
@@ -170,14 +190,26 @@ func summarizeTrace(path string) error {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("# Trace summary: %s\n\n%d spans, %d stages.\n\n", path, len(spans), len(names))
-	fmt.Println("| Stage | Spans | Total | Mean | Max |")
-	fmt.Println("|---|---|---|---|---|")
+	fmt.Printf("# Trace summary: %s\n\n%d spans, %d stages.\n\n", path, listed, len(names))
+	fmt.Println("| Stage | Spans | Total | Mean | Max | Par |")
+	fmt.Println("|---|---|---|---|---|---|")
 	for _, name := range names {
 		a := byName[name]
+		if a.count == 0 {
+			// Busy companions with no parent span in the retained window
+			// (the tracer ring can evict one without the other).
+			continue
+		}
 		mean := time.Duration(a.totalNS / int64(a.count))
-		fmt.Printf("| %s | %d | %s | %s | %s |\n", name, a.count,
-			time.Duration(a.totalNS), mean, time.Duration(a.maxNS))
+		// Parallel efficiency: summed worker-busy time over wall time. A
+		// serial stage emits no busy companion and shows "-"; a perfectly
+		// scaled 4-worker stage shows ~4.00x.
+		par := "-"
+		if a.busyCount > 0 && a.totalNS > 0 {
+			par = fmt.Sprintf("%.2fx", float64(a.busyNS)/float64(a.totalNS))
+		}
+		fmt.Printf("| %s | %d | %s | %s | %s | %s |\n", name, a.count,
+			time.Duration(a.totalNS), mean, time.Duration(a.maxNS), par)
 	}
 	return nil
 }

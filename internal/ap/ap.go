@@ -3,9 +3,13 @@ package ap
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -153,6 +157,19 @@ type AP struct {
 	// FFT-then-subtract path. Wiring-time, like fastOff.
 	fastFFTOff bool
 
+	// batchOff disables the batched transform layer (SetBatchFFTEnabled):
+	// subtractedSpectra reverts to per-pair fused transforms, the lazy
+	// per-antenna materialization is disabled (both antennas get full
+	// spectra), and the range-Doppler column FFTs run one at a time.
+	// Wiring-time, like fastOff.
+	batchOff bool
+
+	// intraParOff pins every intra-capture fan-out to one worker
+	// (SetIntraCaptureParallelEnabled), so the synthesis, subtract-FFT, and
+	// power-profile stages run serially regardless of GOMAXPROCS.
+	// Wiring-time, like fastOff.
+	intraParOff bool
+
 	// obs holds the AP's resolved stage instruments; nil (the default)
 	// means unobserved and the pipelines skip even the clock reads.
 	obs *apObs
@@ -184,6 +201,15 @@ type apObs struct {
 	synthClutter *obs.Histogram
 	synthTargets *obs.Histogram
 	synthNoise   *obs.Histogram
+
+	// fftBatch times the batched subtract-transform pass (DESIGN.md §17);
+	// its span nests inside the enclosing ap.fft span like fftReal's does
+	// on the per-pair path.
+	fftBatch *obs.Histogram
+	// captureWorkers distributes the participant counts of intra-capture
+	// fan-outs, showing how much of the worker budget the stages actually
+	// used.
+	captureWorkers *obs.Histogram
 }
 
 // clutterKey identifies one clutter derivation. Pointing matters because
@@ -286,6 +312,9 @@ func (a *AP) SetObserver(reg *obs.Registry, tr *obs.Tracer) {
 		synthClutter: reg.Histogram(obs.MetricSynthClutterSeconds, obs.DurationBuckets()),
 		synthTargets: reg.Histogram(obs.MetricSynthTargetsSeconds, obs.DurationBuckets()),
 		synthNoise:   reg.Histogram(obs.MetricSynthNoiseSeconds, obs.DurationBuckets()),
+
+		fftBatch:       reg.Histogram(obs.MetricFFTBatchSeconds, obs.DurationBuckets()),
+		captureWorkers: reg.Histogram(obs.MetricCaptureWorkers, obs.WorkerCountBuckets()),
 	}
 }
 
@@ -314,6 +343,96 @@ func (a *AP) SetFastFFTEnabled(on bool) { a.fastFFTOff = !on }
 
 // FastFFTEnabled reports whether the fused subtraction transform is active.
 func (a *AP) FastFFTEnabled() bool { return !a.fastFFTOff }
+
+// SetBatchFFTEnabled toggles the batched transform layer (enabled by
+// default): the whole chirp dimension of a capture goes through one
+// dsp.BatchPlan call (shared twiddles, packed pruned stages, lazy antenna-1
+// materialization) instead of 2(n−1) independent plan executions. Disabling
+// it restores the PR 9 per-pair fused path for differential testing
+// (DESIGN.md §17). Wiring-time configuration, not safe to flip concurrently
+// with captures.
+func (a *AP) SetBatchFFTEnabled(on bool) { a.batchOff = !on }
+
+// BatchFFTEnabled reports whether the batched transform layer is active.
+func (a *AP) BatchFFTEnabled() bool { return !a.batchOff }
+
+// SetIntraCaptureParallelEnabled toggles intra-capture parallelism (enabled
+// by default): the synthesis, subtract-FFT, and power-profile stages fan out
+// across up to GOMAXPROCS pooled workers with per-worker scratch and
+// fixed-order reductions, bit-identical to the serial path at any worker
+// count (DESIGN.md §17). Disabling pins every fan-out to one worker.
+// Wiring-time configuration, not safe to flip concurrently with captures.
+func (a *AP) SetIntraCaptureParallelEnabled(on bool) { a.intraParOff = !on }
+
+// IntraCaptureParallelEnabled reports whether intra-capture fan-outs may use
+// more than one worker.
+func (a *AP) IntraCaptureParallelEnabled() bool { return !a.intraParOff }
+
+// captureWorkers returns the worker budget for intra-capture fan-outs:
+// GOMAXPROCS, or 1 when intra-capture parallelism is disabled.
+func (a *AP) captureWorkers() int {
+	if a.intraParOff {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// fanOut runs fn over [0, n) on up to `workers` pooled participants
+// (parallel.ForEachScratch semantics: dense worker index, one item at a time
+// per worker) and records the participant count when the AP is observed.
+func (a *AP) fanOut(n, workers int, fn func(worker, i int)) int {
+	got := parallel.ForEachScratch(n, workers, fn)
+	if o := a.obs; o != nil && n > 0 {
+		o.captureWorkers.Observe(float64(got))
+	}
+	return got
+}
+
+// busyClock sums per-item wall time across fan-out workers so a stage span
+// can carry a ".busy" companion (summed worker time vs the stage's wall
+// time — the parallel-efficiency signal milback-report surfaces). A nil
+// clock is a no-op on every method, so untraced or serial captures pay
+// neither the allocation nor the clock reads.
+type busyClock struct {
+	ns atomic.Int64
+}
+
+// newBusyClock returns a live clock only when the stage is both traced and
+// genuinely parallel — a serial stage's busy time is its wall time.
+func newBusyClock(o *apObs, workers int) *busyClock {
+	if o == nil || o.tracer == nil || workers <= 1 {
+		return nil
+	}
+	return &busyClock{}
+}
+
+func (b *busyClock) start() time.Time {
+	if b == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (b *busyClock) stop(t time.Time) {
+	if b == nil {
+		return
+	}
+	b.ns.Add(int64(time.Since(t)))
+}
+
+// recordBusy emits the ".busy" companion span for a stage that fanned out
+// across `workers` participants.
+func (b *busyClock) recordBusy(tr *obs.Tracer, stage string, start time.Time, workers int) {
+	if b == nil {
+		return
+	}
+	tr.RecordSpan(obs.Span{
+		Name:    stage + obs.SpanBusySuffix,
+		StartNS: start.UnixNano(),
+		DurNS:   b.ns.Load(),
+		Arg:     int64(workers),
+	})
+}
 
 // SetClutterCacheEnabled toggles the clutter-path cache (enabled by
 // default). Disabling it restores derive-per-capture behavior for

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 	"time"
 
 	"repro/internal/dsp"
@@ -39,6 +40,19 @@ var ErrInvalidConfig = errors.New("invalid configuration")
 type BackscatterTarget struct {
 	Pos     rfsim.Point
 	GainDBi func(chirpIdx int, fHz float64) float64
+	// GainEnvs, when non-nil on a target that declares GainStates, bulk-fills
+	// the linear gain envelopes of every switch state over a frequency grid:
+	// env[s·n : (s+1)·n] receives 10^(GainDBi/10) of state s at each of the
+	// n = len(freq) grid points, for all nStates states (including states no
+	// chirp of the burst uses). One call per capture replaces one GainDBi
+	// evaluation per (state, sample), letting sources share work across
+	// states — the FSA's per-port array factors are mode-independent, so its
+	// two toggle states cost one port sweep each instead of two. The whole
+	// env arena may be used as scratch. Must describe the same target as
+	// GainDBi (the reference path always uses GainDBi; the differential pins
+	// hold the two within 1e-9 relative). Same concurrency contract as
+	// GainDBi.
+	GainEnvs func(freq []float64, nStates int, env []float64)
 	// RadialVelocityMS is the target's range rate in m/s (positive =
 	// receding). Across a chirp burst it advances the round-trip delay by
 	// 2·v·k·CRI/c per chirp, whose carrier-phase progression is the Doppler
@@ -316,22 +330,107 @@ func (a *AP) addBeatTone(frame *ChirpFrame, c waveform.Chirp, tau, amp, aoaRad, 
 	}
 }
 
+// diffMode selects what subtractedDiffs materializes for one antenna of the
+// background-subtraction product — the lazy-evaluation contract that lets
+// each consumer skip work it will never read.
+type diffMode uint8
+
+const (
+	// diffSkip materializes nothing: the consumer never reads the antenna
+	// (the orientation and velocity estimators are antenna-0-only).
+	diffSkip diffMode = iota
+	// diffTime materializes only the windowed time-domain difference
+	// (frame-length samples): enough to evaluate individual spectrum bins on
+	// demand through dsp.EvalBin, for consumers that read a handful of bins —
+	// the angle estimators read one bin per detected peak — without paying
+	// for a transform.
+	diffTime
+	// diffSpec materializes the full FFT-size spectrum of the windowed
+	// difference, the historical product.
+	diffSpec
+)
+
+// diffSet is the background-subtraction product of one capture under the
+// lazy per-antenna contract.
+type diffSet struct {
+	// d[k][m] holds pair k, antenna m: an nfft-bin spectrum (diffSpec), a
+	// frame-length windowed time difference (diffTime), or nil (diffSkip).
+	d [][2][]complex128
+	// mode records what each antenna column actually holds. The fallback
+	// paths upgrade every request to diffSpec, so consumers must dispatch on
+	// mode (or use binAt), never on what they asked for.
+	mode [2]diffMode
+	// n0 is the uniform frame length; nfft the spectrum length.
+	n0, nfft int
+	// fast marks the batched path, whose consumers may use the packed
+	// band-envelope kernel; the fallback paths leave it false so the
+	// reference formulations stay pinned for differential testing.
+	fast bool
+}
+
+// binAt returns spectrum bin `bin` of pair k, antenna m — read directly from
+// a materialized spectrum, or evaluated on demand from the time-domain
+// difference.
+func (ds *diffSet) binAt(k, m, bin int) complex128 {
+	if ds.mode[m] == diffSpec {
+		return ds.d[k][m][bin]
+	}
+	return dsp.EvalBin(ds.d[k][m], ds.nfft, bin)
+}
+
+// releaseDiffSet hands every materialized buffer of a diffSet back to the
+// pool. Every consumer of subtractedDiffs defers it; the set must not be
+// read afterwards.
+func (a *AP) releaseDiffSet(ds diffSet) {
+	for k := range ds.d {
+		for m := range ds.d[k] {
+			if ds.d[k][m] != nil {
+				a.putComplex(ds.d[k][m])
+				ds.d[k][m] = nil
+			}
+		}
+	}
+}
+
 // subtractedSpectra forms the spectra of the consecutive differences
 // X_{k+1} − X_k of the windowed chirps on both antennas — the §5.1
 // background subtraction that removes static clutter while keeping the
-// node's modulated reflection.
-//
-// The default fast path fuses the subtraction into the transform: by
-// linearity FFT(w·(x_{k+1}−x_k)) = FFT(w·x_{k+1}) − FFT(w·x_k), so it
-// differences the raw frames in the time domain (one multiply-subtract pass,
-// no separate window pass) and runs one FFT per diff — 2(n−1) transforms per
-// capture instead of 2n, and n−1 fused passes instead of 2n window passes
-// plus n−1 subtraction passes. SetFastFFTEnabled(false) restores the
-// reference transform-then-subtract path; the two agree within ~1 ulp per
-// sample (the differential tests pin ≤1e-9).
+// node's modulated reflection. It is the both-antennas-eager special case of
+// subtractedDiffs, kept for consumers (and differential tests) that want the
+// full historical product.
 func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffSpec, diffSpec})
+	if err != nil {
+		return nil, err
+	}
+	return ds.d, nil
+}
+
+// subtractedDiffs is the background subtraction under the lazy per-antenna
+// contract: want[m] declares how antenna m will be consumed, and the batched
+// default path materializes exactly that.
+//
+// Three execution paths, outermost first:
+//
+//   - Reference (SetFastFFTEnabled(false), or mixed frame lengths): window
+//     and transform every chirp, then difference the spectra — the
+//     historical formulation, bit-identical to the seed.
+//   - Fused (SetBatchFFTEnabled(false)): by linearity
+//     FFT(w·(x_{k+1}−x_k)) = FFT(w·x_{k+1}) − FFT(w·x_k), so each pair runs
+//     one fused multiply-subtract pass and one transform per antenna — the
+//     PR 9 formulation.
+//   - Batched (default): the fused differences for the whole chirp dimension
+//     go through one dsp.BatchPlan call — shared twiddles, packed leading
+//     stages (the frames fill ≤ n0 of nfft bins), one scratch arena — with
+//     lazy per-antenna materialization, fanned across the intra-capture
+//     workers when the budget allows. Identical per-pair arithmetic to the
+//     fused path at any worker count.
+//
+// Both fallbacks upgrade every antenna to diffSpec; consumers dispatch on
+// the returned modes.
+func (a *AP) subtractedDiffs(frames []ChirpFrame, want [2]diffMode) (diffSet, error) {
 	if len(frames) < 2 {
-		return nil, fmt.Errorf("ap: background subtraction needs >= 2 chirps, got %d", len(frames))
+		return diffSet{}, fmt.Errorf("ap: background subtraction needs >= 2 chirps, got %d", len(frames))
 	}
 	if o := a.obs; o != nil {
 		start := time.Now()
@@ -351,10 +450,10 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 		for m := 0; m < 2; m++ {
 			n := len(frames[k].Rx[m])
 			if n == 0 {
-				return nil, fmt.Errorf("ap: empty chirp frame %d", k)
+				return diffSet{}, fmt.Errorf("ap: empty chirp frame %d", k)
 			}
 			if n > nfft {
-				return nil, fmt.Errorf("ap: chirp frame %d has %d samples but FFT size is %d; raise Config.FFTSize to at least %d",
+				return diffSet{}, fmt.Errorf("ap: chirp frame %d has %d samples but FFT size is %d; raise Config.FFTSize to at least %d",
 					k, n, nfft, dsp.NextPowerOfTwo(n))
 			}
 			if n != n0 {
@@ -362,39 +461,30 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 			}
 		}
 	}
-	plan := dsp.PlanFFT(nfft)
-	// The fused path requires a shared window (equal frame lengths) so the
-	// time-domain difference is windowed consistently; mixed-length captures
-	// fall back to the reference path.
-	if uniform && !a.fastFFTOff {
-		var fusedStart time.Time
-		if a.obs != nil {
-			fusedStart = time.Now()
-		}
-		w := dsp.HannCached(n0)
-		diffs := make([][2][]complex128, len(frames)-1)
-		parallel.ForEach(len(diffs), func(k int) {
-			for m := 0; m < 2; m++ {
-				x0 := frames[k].Rx[m]
-				x1 := frames[k+1].Rx[m]
-				buf := a.getComplex(nfft)
-				for i := range x0 {
-					buf[i] = (x1[i] - x0[i]) * complex(w[i], 0)
-				}
-				plan.Forward(buf)
-				diffs[k][m] = buf
-			}
-		})
-		if o := a.obs; o != nil {
-			o.fftReal.Observe(time.Since(fusedStart).Seconds())
-			o.tracer.Record(obs.SpanFFTReal, fusedStart, int64(len(diffs)))
-		}
-		return diffs, nil
+	ds := diffSet{mode: [2]diffMode{diffSpec, diffSpec}, n0: n0, nfft: nfft}
+	// The fused and batched paths require a shared window (equal frame
+	// lengths) so the time-domain difference is windowed consistently;
+	// mixed-length captures fall back to the reference path.
+	if !uniform || a.fastFFTOff {
+		ds.d = a.refSpectra(frames, uniform, n0, nfft)
+		return ds, nil
 	}
-	// Reference path: window and transform every chirp, then difference the
-	// spectra. The analysis window depends only on the frame length: share
-	// the process-wide cached window (read-only) instead of recomputing it
-	// 2·len(frames) times per capture.
+	if a.batchOff {
+		ds.d = a.fusedSpectra(frames, n0, nfft)
+		return ds, nil
+	}
+	ds.mode = want
+	ds.fast = true
+	ds.d = a.batchedDiffs(frames, want, n0, nfft)
+	return ds, nil
+}
+
+// refSpectra is the reference background subtraction: window and transform
+// every chirp, then difference the spectra. The analysis window depends only
+// on the frame length: share the process-wide cached window (read-only)
+// instead of recomputing it 2·len(frames) times per capture.
+func (a *AP) refSpectra(frames []ChirpFrame, uniform bool, n0, nfft int) [][2][]complex128 {
+	plan := dsp.PlanFFT(nfft)
 	var shared []float64
 	if uniform {
 		shared = dsp.HannCached(n0)
@@ -419,7 +509,7 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 	// for diff k (spectrum k+1 is still intact when diff k is computed, and
 	// is only overwritten afterwards by its own diff). Value-identical to the
 	// historical allocate-then-subtract, and the caller releases the diffs
-	// back to the pool via releaseDiffs when done.
+	// back to the pool when done.
 	diffs := make([][2][]complex128, len(frames)-1)
 	for k := 0; k+1 < len(spectra); k++ {
 		for m := 0; m < 2; m++ {
@@ -435,28 +525,186 @@ func (a *AP) subtractedSpectra(frames []ChirpFrame) ([][2][]complex128, error) {
 	for m := 0; m < 2; m++ {
 		a.putComplex(spectra[len(spectra)-1][m])
 	}
-	return diffs, nil
+	return diffs
+}
+
+// fusedSpectra is the PR 9 fused path: one windowed multiply-subtract pass
+// and one single-shot transform per pair per antenna, preserved behind
+// SetBatchFFTEnabled(false) as the batched path's reference.
+func (a *AP) fusedSpectra(frames []ChirpFrame, n0, nfft int) [][2][]complex128 {
+	var fusedStart time.Time
+	o := a.obs
+	if o != nil {
+		fusedStart = time.Now()
+	}
+	plan := dsp.PlanFFT(nfft)
+	w := dsp.HannCached(n0)
+	diffs := make([][2][]complex128, len(frames)-1)
+	parallel.ForEach(len(diffs), func(k int) {
+		for m := 0; m < 2; m++ {
+			buf := a.getComplex(nfft)
+			windowedDiff(buf[:n0], frames[k].Rx[m], frames[k+1].Rx[m], w)
+			plan.Forward(buf)
+			diffs[k][m] = buf
+		}
+	})
+	if o != nil {
+		o.fftReal.Observe(time.Since(fusedStart).Seconds())
+		o.tracer.Record(obs.SpanFFTReal, fusedStart, int64(len(diffs)))
+	}
+	return diffs
+}
+
+// batchedDiffs is the default background subtraction: materialize exactly
+// what each antenna's mode asks for, then run every requested spectrum of
+// the capture through one shared batch plan. The packed forward skips the
+// leading butterfly stages (the windowed difference fills only n0 of nfft
+// bins — pooled buffers arrive zeroed beyond it), and bins beyond a diffTime
+// antenna's on-demand reads are never computed at all.
+//
+// With a worker budget above one, pairs fan out across the pooled workers;
+// each participant batch-transforms its own pair's spectra. The per-pair
+// arithmetic is identical either way, so the results are bit-identical to
+// the serial batched path at any worker count.
+func (a *AP) batchedDiffs(frames []ChirpFrame, want [2]diffMode, n0, nfft int) [][2][]complex128 {
+	var start time.Time
+	o := a.obs
+	if o != nil {
+		start = time.Now()
+	}
+	w := dsp.HannCached(n0)
+	bp := dsp.PlanBatch(nfft)
+	nd := len(frames) - 1
+	diffs := make([][2][]complex128, nd)
+	nSpec := 0
+	for m := 0; m < 2; m++ {
+		if want[m] == diffSpec {
+			nSpec++
+		}
+	}
+	workers := a.captureWorkers()
+	if workers > nd {
+		workers = nd
+	}
+	if workers <= 1 {
+		// Serial: the whole chirp dimension is one batched call. The spec
+		// header list is pool-recycled so the steady state allocates only
+		// the returned diffs slice.
+		sp := specHeaderPool.Get().(*[][]complex128)
+		specs := (*sp)[:0]
+		for k := 0; k < nd; k++ {
+			specs = a.materializePair(diffs, frames, want, w, k, n0, nfft, specs)
+		}
+		bp.ForwardPacked(specs, n0)
+		if o != nil {
+			o.fftBatch.Observe(time.Since(start).Seconds())
+			o.tracer.Record(obs.SpanFFTBatch, start, int64(len(specs)))
+		}
+		for i := range specs {
+			specs[i] = nil
+		}
+		*sp = specs[:0]
+		specHeaderPool.Put(sp)
+		return diffs
+	}
+	busy := newBusyClock(o, workers)
+	got := a.fanOut(nd, workers, func(_, k int) {
+		t0 := busy.start()
+		var subArr [2][]complex128
+		sub := a.materializePair(diffs, frames, want, w, k, n0, nfft, subArr[:0])
+		bp.ForwardPacked(sub, n0)
+		busy.stop(t0)
+	})
+	if o != nil {
+		o.fftBatch.Observe(time.Since(start).Seconds())
+		o.tracer.Record(obs.SpanFFTBatch, start, int64(nSpec*nd))
+		busy.recordBusy(o.tracer, obs.SpanFFTBatch, start, got)
+	}
+	return diffs
+}
+
+// materializePair fills pair k's buffers per the per-antenna want modes and
+// returns its to-be-transformed spectra appended to specs.
+func (a *AP) materializePair(diffs [][2][]complex128, frames []ChirpFrame, want [2]diffMode,
+	w []float64, k, n0, nfft int, specs [][]complex128) [][]complex128 {
+	for m := 0; m < 2; m++ {
+		switch want[m] {
+		case diffSkip:
+		case diffTime:
+			buf := a.getComplex(n0)
+			windowedDiff(buf, frames[k].Rx[m], frames[k+1].Rx[m], w)
+			diffs[k][m] = buf
+		case diffSpec:
+			buf := a.getComplex(nfft)
+			windowedDiff(buf[:n0], frames[k].Rx[m], frames[k+1].Rx[m], w)
+			diffs[k][m] = buf
+			specs = append(specs, buf)
+		}
+	}
+	return specs
+}
+
+// specHeaderPool recycles the slice-header lists the serial batched path
+// collects its spectra into (the buffers themselves live in the AP's complex
+// pool). Headers are nilled before Put so the list never retains capture
+// buffers.
+var specHeaderPool = sync.Pool{New: func() any { return new([][]complex128) }}
+
+// windowedDiff writes the Hann-windowed consecutive difference
+// (x1−x0)·w into dst; all slices share dst's length.
+func windowedDiff(dst []complex128, x0, x1 []complex128, w []float64) {
+	for i := range dst {
+		dst[i] = (x1[i] - x0[i]) * complex(w[i], 0)
+	}
 }
 
 // accumulatePowerProfile adds |D|² of antenna 0 over every subtraction pair
 // into profile (typically a pooled, zeroed nfft/2 buffer). The DC bin is
 // skipped — it carries the window's own spectral leakage, not target energy.
-// Accumulation runs serially in pair order so the profile is bit-identical
-// regardless of GOMAXPROCS (floating-point addition is order-sensitive);
-// the per-pair work upstream is what parallelizes.
-func accumulatePowerProfile(diffs [][2][]complex128, profile []float64) {
-	for _, d := range diffs {
-		d0 := d[0]
-		for i := 1; i < len(profile); i++ {
-			re, im := real(d0[i]), imag(d0[i])
-			profile[i] += re*re + im*im
+//
+// The reduction is fixed-order: with one worker it accumulates serially in
+// pair order; with more, workers square each pair into a pooled partial
+// buffer (exactly the per-pair terms of the serial loop) and the partials
+// are then added serially in the same pair order. Floating-point addition is
+// order-sensitive, but both shapes perform the identical sequence of
+// additions per bin, so the profile is bit-identical at any worker count.
+func (a *AP) accumulatePowerProfile(ds diffSet, profile []float64) {
+	diffs := ds.d
+	workers := a.captureWorkers()
+	if workers > len(diffs) {
+		workers = len(diffs)
+	}
+	if workers <= 1 {
+		for _, d := range diffs {
+			d0 := d[0]
+			for i := 1; i < len(profile); i++ {
+				re, im := real(d0[i]), imag(d0[i])
+				profile[i] += re*re + im*im
+			}
 		}
+		return
+	}
+	partials := make([][]float64, len(diffs))
+	a.fanOut(len(diffs), workers, func(_, k int) {
+		part := a.getFloat64(len(profile))
+		d0 := diffs[k][0]
+		for i := 1; i < len(part); i++ {
+			re, im := real(d0[i]), imag(d0[i])
+			part[i] = re*re + im*im
+		}
+		partials[k] = part
+	})
+	for _, part := range partials {
+		for i := 1; i < len(profile); i++ {
+			profile[i] += part[i]
+		}
+		a.putFloat64(part)
 	}
 }
 
 // releaseDiffs hands background-subtraction spectra back to the buffer
-// pool. Every consumer of subtractedSpectra defers it; the diffs must not
-// be read afterwards.
+// pool. Consumers of subtractedSpectra defer it; the diffs must not be read
+// afterwards.
 func (a *AP) releaseDiffs(diffs [][2][]complex128) {
 	for k := range diffs {
 		for m := range diffs[k] {
@@ -493,11 +741,14 @@ func (r LocalizationResult) PeakIndex() int {
 // background subtraction, peak search with sub-bin interpolation, range from
 // the beat frequency, and angle from the inter-antenna phase at the peak.
 func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (LocalizationResult, error) {
-	diffs, err := a.subtractedSpectra(frames)
+	// Antenna 0 feeds the power profile (full spectra); antenna 1 is read at
+	// exactly one bin — the detected peak — so the time-domain difference
+	// plus a single-bin evaluation replaces its FFTs entirely.
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffSpec, diffTime})
 	if err != nil {
 		return LocalizationResult{}, err
 	}
-	defer a.releaseDiffs(diffs)
+	defer a.releaseDiffSet(ds)
 	// The detect stage is everything after the spectra: peak search,
 	// interpolation, range/angle recovery.
 	if o := a.obs; o != nil {
@@ -514,7 +765,7 @@ func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (Localiz
 	half := nfft / 2
 	profile := a.getFloat64(half)
 	defer a.putFloat64(profile)
-	accumulatePowerProfile(diffs, profile)
+	a.accumulatePowerProfile(ds, profile)
 	peak := dsp.MaxPeak(profile)
 	if peak.Index <= 0 {
 		return LocalizationResult{}, fmt.Errorf("ap: %w: no backscatter peak found", ErrNoDetection)
@@ -531,8 +782,8 @@ func (a *AP) ProcessLocalization(c waveform.Chirp, frames []ChirpFrame) (Localiz
 	// Angle: phase difference between antennas at the peak bin, averaged
 	// coherently over subtraction pairs.
 	var acc complex128
-	for _, d := range diffs {
-		acc += d[1][peak.Index] * cmplx.Conj(d[0][peak.Index])
+	for k := range ds.d {
+		acc += ds.binAt(k, 1, peak.Index) * cmplx.Conj(ds.binAt(k, 0, peak.Index))
 	}
 	dPhi := cmplx.Phase(acc)
 	fc := (c.FreqLow + c.FreqHigh) / 2
@@ -574,11 +825,13 @@ func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
 	if maskBins < 1 {
 		return OrientationProfile{}, fmt.Errorf("ap: maskBins must be >= 1, got %d", maskBins)
 	}
-	diffs, err := a.subtractedSpectra(frames)
+	// Orientation reads only antenna 0: ask for its spectra and skip
+	// antenna 1's transforms outright.
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffSpec, diffSkip})
 	if err != nil {
 		return OrientationProfile{}, err
 	}
-	defer a.releaseDiffs(diffs)
+	defer a.releaseDiffSet(ds)
 	nfft := a.cfg.FFTSize
 	if peakBin <= 0 || peakBin >= nfft/2 {
 		return OrientationProfile{}, fmt.Errorf("ap: peak bin %d outside (0, %d)", peakBin, nfft/2)
@@ -586,25 +839,37 @@ func (a *AP) EstimateOrientationProfile(c waveform.Chirp, frames []ChirpFrame,
 	fs := a.cfg.BeatSampleRateHz
 	nSamp := c.SampleCount(fs)
 	env := make([]float64, nSamp)
-	masked := a.getComplex(nfft)
-	for _, d := range diffs {
-		clear(masked)
-		lo, hi := peakBin-maskBins, peakBin+maskBins
-		if lo < 1 {
-			lo = 1
-		}
-		if hi >= nfft/2 {
-			hi = nfft/2 - 1
-		}
-		for i := lo; i <= hi; i++ {
-			masked[i] = d[0][i]
-		}
-		dsp.IFFTInPlace(masked)
-		for i := 0; i < nSamp; i++ {
-			env[i] += cmplx.Abs(masked[i])
-		}
+	lo, hi := peakBin-maskBins, peakBin+maskBins
+	if lo < 1 {
+		lo = 1
 	}
-	a.putComplex(masked)
+	if hi >= nfft/2 {
+		hi = nfft/2 - 1
+	}
+	if ds.fast {
+		// Batched path: the masked spectrum is a short band around the peak
+		// bin, and the envelope only needs magnitudes — which are invariant
+		// under the band's absolute position — so the packed band-envelope
+		// kernel replaces the clear + scatter + full IFFT per pair.
+		bp := dsp.PlanBatch(nfft)
+		for k := range ds.d {
+			bp.AddBandEnvelope(env, ds.d[k][0][lo:hi+1])
+		}
+	} else {
+		// Reference formulation, preserved behind the batch switch.
+		masked := a.getComplex(nfft)
+		for _, d := range ds.d {
+			clear(masked)
+			for i := lo; i <= hi; i++ {
+				masked[i] = d[0][i]
+			}
+			dsp.IFFTInPlace(masked)
+			for i := 0; i < nSamp; i++ {
+				env[i] += cmplx.Abs(masked[i])
+			}
+		}
+		a.putComplex(masked)
+	}
 	// The Hann analysis window tapers the ends of the chirp; undo it so the
 	// envelope reflects the FSA gain profile, avoiding the near-zero edges.
 	w := dsp.HannCached(nSamp)
@@ -637,20 +902,27 @@ func RangeFromBeat(c waveform.Chirp, beatHz float64) float64 {
 // pairwise rotations coherently, so longer bursts refine it. Unambiguous
 // range: ±c/(4·f_eff·CRI) ≈ ±60 m/s with the default 50 µs interval.
 func (a *AP) EstimateRadialVelocity(c waveform.Chirp, frames []ChirpFrame, peakBin int) (float64, error) {
-	diffs, err := a.subtractedSpectra(frames)
+	// Doppler reads one bin of antenna 0 per pair: the time-domain
+	// differences plus one on-demand bin evaluation each replace every FFT
+	// of the burst (a 32-chirp burst historically ran 62 transforms here).
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffTime, diffSkip})
 	if err != nil {
 		return 0, err
 	}
-	defer a.releaseDiffs(diffs)
-	if len(diffs) < 2 {
+	defer a.releaseDiffSet(ds)
+	if len(ds.d) < 2 {
 		return 0, fmt.Errorf("ap: velocity needs >= 3 chirps, got %d", len(frames))
 	}
 	if peakBin <= 0 || peakBin >= a.cfg.FFTSize/2 {
 		return 0, fmt.Errorf("ap: peak bin %d outside (0, %d)", peakBin, a.cfg.FFTSize/2)
 	}
+	// Evaluate the peak bin once per pair, then form the pairwise rotations.
 	var z complex128
-	for k := 0; k+1 < len(diffs); k++ {
-		z += diffs[k+1][0][peakBin] * cmplx.Conj(diffs[k][0][peakBin])
+	prev := ds.binAt(0, 0, peakBin)
+	for k := 0; k+1 < len(ds.d); k++ {
+		cur := ds.binAt(k+1, 0, peakBin)
+		z += cur * cmplx.Conj(prev)
+		prev = cur
 	}
 	if z == 0 {
 		return 0, fmt.Errorf("ap: no coherent Doppler signal at bin %d", peakBin)
@@ -687,17 +959,19 @@ func (a *AP) DetectTargets(c waveform.Chirp, frames []ChirpFrame, maxTargets int
 	if maxTargets < 1 {
 		return nil, fmt.Errorf("ap: maxTargets must be >= 1, got %d", maxTargets)
 	}
-	diffs, err := a.subtractedSpectra(frames)
+	// Like ProcessLocalization: antenna 0 eager for the profile, antenna 1
+	// evaluated only at each detected peak.
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffSpec, diffTime})
 	if err != nil {
 		return nil, err
 	}
-	defer a.releaseDiffs(diffs)
+	defer a.releaseDiffSet(ds)
 	nfft := a.cfg.FFTSize
 	fs := a.cfg.BeatSampleRateHz
 	half := nfft / 2
 	profile := a.getFloat64(half)
 	defer a.putFloat64(profile)
-	accumulatePowerProfile(diffs, profile)
+	a.accumulatePowerProfile(ds, profile)
 	// A node's beat component is spread over tens of bins by its amplitude
 	// modulation (the FSA gain sweeping across the chirp), so the CFAR
 	// guard band must clear that spread, and two nodes need comparable
@@ -724,8 +998,8 @@ func (a *AP) DetectTargets(c waveform.Chirp, frames []ChirpFrame, maxTargets int
 	for _, p := range peaks {
 		fBeat := p.Position * fs / float64(nfft)
 		var acc complex128
-		for _, d := range diffs {
-			acc += d[1][p.Index] * cmplx.Conj(d[0][p.Index])
+		for k := range ds.d {
+			acc += ds.binAt(k, 1, p.Index) * cmplx.Conj(ds.binAt(k, 0, p.Index))
 		}
 		snr := math.Inf(1)
 		if med > 0 {

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/dsp"
 	"repro/internal/obs"
-	"repro/internal/parallel"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -96,6 +95,17 @@ type synthState struct {
 	frames  []ChirpFrame
 }
 
+// fillGainEnv evaluates a target's linear gain envelope for chirp k over the
+// shared frequency grid through the scalar GainDBi seam — the fallback for
+// targets without a bulk GainEnvs fill.
+func fillGainEnv(dst []float64, tgt *BackscatterTarget, k int, freq []float64) {
+	for i, f := range freq {
+		// math.Pow(10, -Inf) = 0: a "no reflection" gain drops the
+		// sample exactly as the reference path's IsInf guard does.
+		dst[i] = math.Pow(10, tgt.GainDBi(k, f)/10)
+	}
+}
+
 // interAntennaRot returns the constant phase rotation between the two receive
 // antennas for a path arriving from aoaRad — the factor addBeatTone applies
 // per call, hoisted here to one complex constant per path.
@@ -162,6 +172,14 @@ func (a *AP) synthesizeFast(st synthState) {
 		}
 		ts.memo = true
 		ts.env = a.getFloat64(nStates * st.nSamp)
+		if ts.tgt.GainEnvs != nil {
+			// Bulk fill: every state in one call, sharing the
+			// mode-independent work across states (it may fill states the
+			// burst never uses; that costs a scalar combine, not an
+			// array-factor sweep).
+			ts.tgt.GainEnvs(freq, nStates, ts.env)
+			continue
+		}
 		var done [maxGainStates]bool
 		filled := 0
 		for k := 0; k < st.nChirps && filled < nStates; k++ {
@@ -171,12 +189,7 @@ func (a *AP) synthesizeFast(st synthState) {
 			}
 			done[s] = true
 			filled++
-			row := ts.env[s*st.nSamp : (s+1)*st.nSamp]
-			for i, f := range freq {
-				// math.Pow(10, -Inf) = 0: a "no reflection" gain drops the
-				// sample exactly as the reference path's IsInf guard does.
-				row[i] = math.Pow(10, ts.tgt.GainDBi(k, f)/10)
-			}
+			fillGainEnv(ts.env[s*st.nSamp:(s+1)*st.nSamp], ts.tgt, k, freq)
 		}
 	}
 	for ei := range st.extras {
@@ -203,7 +216,20 @@ func (a *AP) synthesizeFast(st synthState) {
 	cEff, nSamp, fs, fc := st.cEff, st.nSamp, st.fs, st.fc
 	txAmp, radarLoss, jitter := st.txAmp, st.radar, st.jitter
 	targets, extras, frames := st.targets, st.extras, st.frames
-	parallel.ForEach(st.nChirps, func(k int) {
+	workers := a.captureWorkers()
+	if workers > st.nChirps {
+		workers = st.nChirps
+	}
+	// Per-worker refill scratch, stride-indexed like the memo: worker w owns
+	// scratchBuf[w·nSamp : (w+1)·nSamp]. Safe to reuse across chirps because
+	// every fill overwrites the whole envelope.
+	var scratchBuf []float64
+	if needScratch {
+		scratchBuf = a.getFloat64(workers * nSamp)
+	}
+	busy := newBusyClock(o, workers)
+	got := a.fanOut(st.nChirps, workers, func(worker, k int) {
+		t0 := busy.start()
 		var frame ChirpFrame
 		for m := 0; m < 2; m++ {
 			frame.Rx[m] = a.getComplex(nSamp)
@@ -212,8 +238,8 @@ func (a *AP) synthesizeFast(st synthState) {
 			}
 		}
 		var scratch []float64
-		if needScratch {
-			scratch = a.getFloat64(nSamp)
+		if scratchBuf != nil {
+			scratch = scratchBuf[worker*nSamp : (worker+1)*nSamp]
 		}
 		for ti := range targets {
 			ts := &targets[ti]
@@ -227,9 +253,7 @@ func (a *AP) synthesizeFast(st synthState) {
 				s := ts.tgt.GainStateOf(k)
 				env = ts.env[s*nSamp : (s+1)*nSamp]
 			} else {
-				for i, f := range freq {
-					env[i] = math.Pow(10, ts.tgt.GainDBi(k, f)/10)
-				}
+				fillGainEnv(env, ts.tgt, k, freq)
 			}
 			// The path loss follows the Doppler-advanced distance dk (see
 			// synthesizeRef); the gain-dependent factor 10^(g/10) lives in
@@ -245,14 +269,16 @@ func (a *AP) synthesizeFast(st synthState) {
 			dsp.AddTonePair(frame.Rx[0], frame.Rx[1], es.rot,
 				es.path.Amplitude(k)*txAmp*radarLoss, es.phi0, es.step)
 		}
-		if scratch != nil {
-			a.putFloat64(scratch)
-		}
 		frames[k] = frame
+		busy.stop(t0)
 	})
+	if scratchBuf != nil {
+		a.putFloat64(scratchBuf)
+	}
 	if o != nil {
 		o.synthTargets.Observe(time.Since(targetsStart).Seconds())
 		o.tracer.Record(obs.SpanSynthTargets, targetsStart, int64(st.nChirps))
+		busy.recordBusy(o.tracer, obs.SpanSynthTargets, targetsStart, got)
 	}
 
 	// Phase 3 (serial): fold the pre-drawn noise into each frame and recycle

@@ -3,8 +3,10 @@ package ap
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/rfsim"
 	"repro/internal/waveform"
 )
@@ -42,40 +44,47 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 	// Slow-time input: the background-subtracted spectra. Subtraction is a
 	// slow-time high-pass that removes static clutter AND the node's
 	// non-toggling (mean) Doppler line, leaving its switching line — the
-	// one the velocity axis below is centred on.
-	diffs, err := a.subtractedSpectra(frames)
+	// one the velocity axis below is centred on. Only antenna 0 feeds the
+	// map, so antenna 1 is never materialized on the batched path.
+	ds, err := a.subtractedDiffs(frames, [2]diffMode{diffSpec, diffSkip})
 	if err != nil {
 		return RangeDopplerMap{}, err
 	}
-	defer a.releaseDiffs(diffs)
-	spectra := make([][]complex128, len(diffs))
-	for k := range diffs {
-		spectra[k] = diffs[k][0]
+	defer a.releaseDiffSet(ds)
+	spectra := make([][]complex128, len(ds.d))
+	for k := range ds.d {
+		spectra[k] = ds.d[k][0]
 	}
-	// Doppler FFT down each range column. The column is a pooled scratch
-	// buffer, and the FFTShift that used to re-centre each column is folded
-	// into index arithmetic on the store: shifted bin v is raw bin
-	// (v + nd/2) mod nd, so no per-range-bin rotation copy is allocated.
+	// Doppler FFT down each range column. The FFTShift that used to
+	// re-centre each column is folded into index arithmetic on the store:
+	// shifted bin v is raw bin (v + nd/2) mod nd, so no per-range-bin
+	// rotation copy is allocated.
 	nd := dsp.NextPowerOfTwo(len(spectra))
 	power := make([][]float64, nd)
 	for v := range power {
 		power[v] = make([]float64, half)
 	}
-	col := a.getComplex(nd)
-	defer a.putComplex(col)
-	for r := 0; r < half; r++ {
-		for i := range col {
-			col[i] = 0
+	if ds.fast {
+		a.dopplerColumns(spectra, power, len(spectra), nd, half)
+	} else {
+		// Reference formulation (batched layer or fast FFT disabled): one
+		// pooled column buffer, one transform per range bin.
+		col := a.getComplex(nd)
+		for r := 0; r < half; r++ {
+			for i := range col {
+				col[i] = 0
+			}
+			for k := range spectra {
+				col[k] = spectra[k][r]
+			}
+			dsp.FFTInPlace(col)
+			for v := 0; v < nd; v++ {
+				cv := col[(v+nd/2)&(nd-1)]
+				re, im := real(cv), imag(cv)
+				power[v][r] = re*re + im*im
+			}
 		}
-		for k := range spectra {
-			col[k] = spectra[k][r]
-		}
-		dsp.FFTInPlace(col)
-		for v := 0; v < nd; v++ {
-			cv := col[(v+nd/2)&(nd-1)]
-			re, im := real(cv), imag(cv)
-			power[v][r] = re*re + im*im
-		}
+		a.putComplex(col)
 	}
 	// Axes. Doppler bin spacing: 1/(nd·CRI) Hz of slow-time frequency;
 	// slow-time frequency f_d maps to velocity v = f_d·c/(2·f_eff). The
@@ -106,6 +115,82 @@ func (a *AP) ComputeRangeDopplerMap(c waveform.Chirp, frames []ChirpFrame) (Rang
 		rd.VelocityAxisMS[v] = -fdNode * rfsim.SpeedOfLight / (2 * fEff)
 	}
 	return rd, nil
+}
+
+// dopplerColBlock is how many range columns a worker gathers into its arena
+// per batched Doppler transform: big enough to amortize the per-call plan
+// dispatch, small enough that an arena (block × nd complex samples) stays
+// cache-resident.
+const dopplerColBlock = 64
+
+// dopplerColumns runs the slow-time Doppler FFT down every range column
+// through the batched transform layer: columns are gathered block-wise into
+// per-worker arenas and each block runs as one dsp.BatchPlan call against
+// shared twiddles, fanned across the intra-capture workers. nd is already
+// NextPowerOfTwo(ns), so the packed leading stages have nothing to prune
+// here — the wins are the shared plan state, two pool round-trips per worker
+// instead of one per column, and the fan-out. Each column's output depends
+// only on its range bin, so the map is bit-identical at any worker count.
+func (a *AP) dopplerColumns(spectra [][]complex128, power [][]float64, ns, nd, half int) {
+	o := a.obs
+	var batchStart time.Time
+	if o != nil {
+		batchStart = time.Now()
+	}
+	nBlocks := (half + dopplerColBlock - 1) / dopplerColBlock
+	workers := a.captureWorkers()
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	bp := dsp.PlanBatch(nd)
+	arenas := make([][]complex128, workers)
+	hdrs := make([][][]complex128, workers)
+	for w := range arenas {
+		arenas[w] = a.getComplex(dopplerColBlock * nd)
+		hdr := make([][]complex128, dopplerColBlock)
+		for j := range hdr {
+			hdr[j] = arenas[w][j*nd : (j+1)*nd]
+		}
+		hdrs[w] = hdr
+	}
+	busy := newBusyClock(o, workers)
+	got := a.fanOut(nBlocks, workers, func(worker, b int) {
+		t0 := busy.start()
+		r0 := b * dopplerColBlock
+		r1 := r0 + dopplerColBlock
+		if r1 > half {
+			r1 = half
+		}
+		hdr := hdrs[worker]
+		for j, r := 0, r0; r < r1; j, r = j+1, r+1 {
+			row := hdr[j]
+			for k := 0; k < ns; k++ {
+				row[k] = spectra[k][r]
+			}
+			// The tail may hold the previous block's transform output.
+			for i := ns; i < nd; i++ {
+				row[i] = 0
+			}
+		}
+		bp.Forward(hdr[:r1-r0])
+		for j, r := 0, r0; r < r1; j, r = j+1, r+1 {
+			row := hdr[j]
+			for v := 0; v < nd; v++ {
+				cv := row[(v+nd/2)&(nd-1)]
+				re, im := real(cv), imag(cv)
+				power[v][r] = re*re + im*im
+			}
+		}
+		busy.stop(t0)
+	})
+	for w := range arenas {
+		a.putComplex(arenas[w])
+	}
+	if o != nil {
+		o.fftBatch.Observe(time.Since(batchStart).Seconds())
+		o.tracer.Record(obs.SpanFFTBatch, batchStart, int64(half))
+		busy.recordBusy(o.tracer, obs.SpanFFTBatch, batchStart, got)
+	}
 }
 
 // StrongestCell returns the (velocity, range) of the map's peak cell,

@@ -53,15 +53,33 @@ func NoFastFFT() Option {
 	return func(p *Plane) { p.noFastFFT = true }
 }
 
+// NoBatchFFT disables the batched transform layer: background subtraction
+// runs the per-pair fused path and the range-Doppler map transforms one
+// column at a time, as before the batch plans landed. The differential tests
+// compare the batched and per-pair modes.
+func NoBatchFFT() Option {
+	return func(p *Plane) { p.noBatchFFT = true }
+}
+
+// NoIntraCaptureParallel pins every intra-capture fan-out to a single
+// worker. Fan-outs are bit-identical at any worker count, so this only
+// trades latency for a quiet machine; the determinism tests compare the two
+// modes to prove it.
+func NoIntraCaptureParallel() Option {
+	return func(p *Plane) { p.noIntraPar = true }
+}
+
 // Plane is the shared capture pipeline of one AP. It is safe for
 // concurrent use in the sense the airtime scheduler guarantees — one
 // operation on the air at a time; individual Leases are not goroutine-safe.
 type Plane struct {
-	ap        *ap.AP
-	pool      *Pool
-	noCache   bool
-	noFast    bool
-	noFastFFT bool
+	ap         *ap.AP
+	pool       *Pool
+	noCache    bool
+	noFast     bool
+	noFastFFT  bool
+	noBatchFFT bool
+	noIntraPar bool
 
 	// Observability wiring (set by WithObserver, resolved once in
 	// NewPlane). obs is nil when unobserved; every instrument call is
@@ -106,6 +124,8 @@ func NewPlane(a *ap.AP, opts ...Option) *Plane {
 	a.SetClutterCacheEnabled(!p.noCache)
 	a.SetFastSynthEnabled(!p.noFast)
 	a.SetFastFFTEnabled(!p.noFastFFT)
+	a.SetBatchFFTEnabled(!p.noBatchFFT)
+	a.SetIntraCaptureParallelEnabled(!p.noIntraPar)
 	return p
 }
 

@@ -67,6 +67,22 @@ type Config struct {
 	// frame. The differential tests pin the two paths together at the sample
 	// and the experiment level (DESIGN.md §13).
 	DisableFastFFT bool
+	// DisableBatchFFT turns off the batched transform layer and restores the
+	// per-pair fused path (the DisableFastFFT=false, pre-batch formulation):
+	// one transform call per consecutive pair, eager materialization of both
+	// antennas, per-column Doppler FFTs. The batched layer runs the whole
+	// chirp dimension through one dsp.BatchPlan call with shared twiddles,
+	// packed leading stages and lazy per-antenna materialization; the
+	// differential tests pin the two within 1e-9 per bin (DESIGN.md §17).
+	// Ignored when DisableFastFFT is set (the reference path has no batches).
+	DisableBatchFFT bool
+	// DisableIntraCaptureParallel pins every intra-capture fan-out
+	// (synthesis, subtract-FFT, power-profile, Doppler columns) to one
+	// worker. The fan-outs use per-worker scratch and fixed-order reductions,
+	// so results are bit-identical either way at any GOMAXPROCS (DESIGN.md
+	// §17); the switch exists for the determinism tests that prove exactly
+	// that and for callers that want single-threaded captures.
+	DisableIntraCaptureParallel bool
 	// DisableObservability turns off the stage-timing histograms, capture
 	// counters and span tracer. Instrumentation never touches the noise
 	// streams, so results are bit-identical either way; the switch exists for
@@ -143,6 +159,12 @@ func NewSystem(cfg Config, scene *rfsim.Scene) (*System, error) {
 	}
 	if cfg.DisableFastFFT {
 		opts = append(opts, capture.NoFastFFT())
+	}
+	if cfg.DisableBatchFFT {
+		opts = append(opts, capture.NoBatchFFT())
+	}
+	if cfg.DisableIntraCaptureParallel {
+		opts = append(opts, capture.NoIntraCaptureParallel())
 	}
 	if !cfg.DisableObservability {
 		s.reg = obs.NewRegistry()
@@ -227,6 +249,26 @@ func localizationTarget(n *node.Node) *ap.BackscatterTarget {
 			}
 			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(mode, mode, fHz, n.OrientationDeg)) / 2
 		},
+		// Bulk linear fill for the two toggle states. GainDBi above is
+		// 10·log10(ReflectionAmplitudeWithModes), so the linear envelope is
+		// the FSA amplitude itself: per-port mode-independent envelopes
+		// (computed once, using the two state rows as scratch) combined with
+		// the absorptive scalar per state — bit-identical to evaluating
+		// ReflectionAmplitudeWithModes per sample at half the array-factor
+		// sweeps.
+		GainEnvs: func(freq []float64, nStates int, env []float64) {
+			ns := len(freq)
+			pa, pb := env[:ns], env[ns:2*ns]
+			n.FSA.PortReflectionEnvelope(fsa.PortA, freq, n.OrientationDeg, pa)
+			n.FSA.PortReflectionEnvelope(fsa.PortB, freq, n.OrientationDeg, pb)
+			abs := n.FSA.AbsorptiveFactor()
+			for i := 0; i < ns; i++ {
+				a, b := pa[i], pb[i]
+				// State 0: both ports absorptive; state 1: both reflective.
+				pa[i] = a*abs + b*abs
+				pb[i] = a + b
+			}
+		},
 		// The gain depends on k only through the toggle parity, so the fast
 		// synthesis kernels memoize the two gain curves (DESIGN.md §12).
 		GainStates:  2,
@@ -245,6 +287,21 @@ func orientationTarget(n *node.Node) *ap.BackscatterTarget {
 				modeB = fsa.Reflective
 			}
 			return 20 * math.Log10(n.FSA.ReflectionAmplitudeWithModes(fsa.Absorptive, modeB, fHz, n.OrientationDeg)) / 2
+		},
+		// Bulk linear fill, as in localizationTarget; here port A stays
+		// absorptive and only port B's scalar differs between states.
+		GainEnvs: func(freq []float64, nStates int, env []float64) {
+			ns := len(freq)
+			pa, pb := env[:ns], env[ns:2*ns]
+			n.FSA.PortReflectionEnvelope(fsa.PortA, freq, n.OrientationDeg, pa)
+			n.FSA.PortReflectionEnvelope(fsa.PortB, freq, n.OrientationDeg, pb)
+			abs := n.FSA.AbsorptiveFactor()
+			for i := 0; i < ns; i++ {
+				a, b := pa[i], pb[i]
+				// State 0: (A abs, B abs); state 1: (A abs, B reflective).
+				pa[i] = a*abs + b*abs
+				pb[i] = a*abs + b
+			}
 		},
 		// Toggle-parity switching again: two distinct gain curves per burst.
 		GainStates:  2,

@@ -40,7 +40,11 @@ type bluesteinPlan struct {
 	chirpFwd, chirpInv []complex128
 	// bSpecFwd/bSpecInv are the length-m forward FFTs of the b-sequence
 	// built from the matching chirp — the convolution kernel, transformed
-	// once at plan time instead of on every call.
+	// once at plan time instead of on every call — pre-scaled by 1/m so the
+	// convolution's inverse sub-transform needs no normalization pass of its
+	// own. m is a power of two, so the pre-scaling is exact (a pure exponent
+	// shift) and the transform output is bit-identical to normalizing after
+	// the inverse sub-FFT, as the historical implementation did.
 	bSpecFwd, bSpecInv []complex128
 	// scratch recycles the length-m convolution buffers.
 	scratch sync.Pool
@@ -121,6 +125,18 @@ func newBluesteinPlan(n int) *bluesteinPlan {
 	}
 	bp.bSpecFwd = bp.bSpectrum(bp.chirpFwd)
 	bp.bSpecInv = bp.bSpectrum(bp.chirpInv)
+	// Fold the convolution's 1/m normalization into the kernel spectra once,
+	// here, so every execution skips a full length-m multiply pass. m is a
+	// power of two, so dividing by it only shifts exponents: scaling the
+	// kernel first and normalizing after the inverse sub-FFT round-trip to
+	// bit-identical convolution outputs.
+	invM := complex(1/float64(m), 0)
+	for i := range bp.bSpecFwd {
+		bp.bSpecFwd[i] *= invM
+	}
+	for i := range bp.bSpecInv {
+		bp.bSpecInv[i] *= invM
+	}
 	bp.scratch.New = func() any {
 		buf := make([]complex128, m)
 		return &buf
@@ -183,17 +199,42 @@ func (p *FFTPlan) radix2(x []complex128, inverse bool) {
 	if n <= 1 {
 		return
 	}
+	tw := p.twFwd
+	if inverse {
+		tw = p.twInv
+	}
+	p.radix2Stages(x, tw)
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+}
+
+// radix2Stages runs the bit-reversal permutation plus the full butterfly
+// schedule against the given twiddle table, without any normalization pass.
+// Splitting this out lets the Bluestein convolution skip a redundant 1/m
+// pass (the kernel spectra are pre-scaled) and lets the packed transforms
+// replace leading stages with a broadcast.
+func (p *FFTPlan) radix2Stages(x []complex128, tw []complex128) {
 	for i, j := range p.rev {
 		if j > i {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
-	tw := p.twFwd
-	if inverse {
-		tw = p.twInv
-	}
-	off := 0
-	for size := 2; size <= n; size <<= 1 {
+	p.radix2From(x, 1, tw)
+}
+
+// radix2From runs the butterfly stages for sizes 2·firstSize .. n, assuming
+// the permutation and all stages up to firstSize have already been applied
+// (firstSize 1 means "run everything"). firstSize must be a power of two
+// dividing n; the twiddle offset for the first executed stage of size S is
+// S-1, matching the stage-major table layout.
+func (p *FFTPlan) radix2From(x []complex128, firstSize int, tw []complex128) {
+	n := len(x)
+	off := firstSize - 1
+	for size := firstSize << 1; size <= n; size <<= 1 {
 		half := size >> 1
 		for k := 0; k < half; k++ {
 			w := tw[off+k]
@@ -206,12 +247,41 @@ func (p *FFTPlan) radix2(x []complex128, inverse bool) {
 		}
 		off += half
 	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= inv
+}
+
+// packedForward transforms x in place against the given twiddle table, given
+// the caller's guarantee that only the first `prefix` entries are nonzero and
+// that x[prefix:NextPowerOfTwo(prefix)] holds explicit zeros. Entries beyond
+// NextPowerOfTwo(prefix) are ignored on input and overwritten: after the
+// bit-reversal permutation every surviving input value sits at the head of a
+// block of n/NextPowerOfTwo(prefix) outputs, and the leading log2(block)
+// butterfly stages — whose odd inputs are all zero — collapse to broadcasting
+// each head across its block. The remaining stages run unchanged, so the
+// result matches the full transform bitwise (the skipped butterflies compute
+// even±0, identical to the head value except for the sign of exact zeros,
+// which no magnitude or difference can observe). Power-of-two plans only.
+func (p *FFTPlan) packedForward(x []complex128, prefix int, tw []complex128) {
+	n := len(x)
+	if prefix < 1 {
+		prefix = 1
+	}
+	block := n / NextPowerOfTwo(prefix)
+	if block <= 1 {
+		p.radix2Stages(x, tw)
+		return
+	}
+	for i, j := range p.rev {
+		if j > i {
+			x[i], x[j] = x[j], x[i]
 		}
 	}
+	for start := 0; start < n; start += block {
+		v := x[start]
+		for j := 1; j < block; j++ {
+			x[start+j] = v
+		}
+	}
+	p.radix2From(x, block, tw)
 }
 
 // bluestein computes an arbitrary-length DFT via the chirp-z transform,
@@ -219,28 +289,39 @@ func (p *FFTPlan) radix2(x []complex128, inverse bool) {
 // pooled convolution buffer.
 func (p *FFTPlan) bluestein(x []complex128, inverse bool) {
 	bp := p.blu
+	aPtr := bp.scratch.Get().(*[]complex128)
+	p.bluesteinWith(x, inverse, *aPtr)
+	bp.scratch.Put(aPtr)
+}
+
+// bluesteinWith is the chirp-z core against a caller-supplied length-m
+// convolution buffer, letting batched execution hold one scratch buffer for
+// an entire batch instead of a pool round trip per transform. Both
+// sub-transforms run stages-only: the forward needs no normalization and the
+// inverse's 1/m lives pre-folded in bSpec. The trailing 1/n for inverse
+// transforms stays per-call — n is not a power of two here, so folding it
+// anywhere would change results bitwise.
+func (p *FFTPlan) bluesteinWith(x []complex128, inverse bool, a []complex128) {
+	bp := p.blu
 	n := p.n
 	chirp, bSpec := bp.chirpFwd, bp.bSpecFwd
 	if inverse {
 		chirp, bSpec = bp.chirpInv, bp.bSpecInv
 	}
-	aPtr := bp.scratch.Get().(*[]complex128)
-	a := *aPtr
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * chirp[k]
 	}
 	for k := n; k < bp.m; k++ {
 		a[k] = 0
 	}
-	bp.sub.radix2(a, false)
+	bp.sub.radix2Stages(a, bp.sub.twFwd)
 	for i := range a {
 		a[i] *= bSpec[i]
 	}
-	bp.sub.radix2(a, true)
+	bp.sub.radix2Stages(a, bp.sub.twInv)
 	for k := 0; k < n; k++ {
 		x[k] = a[k] * chirp[k]
 	}
-	bp.scratch.Put(aPtr)
 	if inverse {
 		inv := complex(1/float64(n), 0)
 		for i := range x {

@@ -228,3 +228,21 @@ func TestPlanPanicsOnBadInput(t *testing.T) {
 		PlanFFT(8).Forward(make([]complex128, 4))
 	}()
 }
+
+// TestBluesteinPlanAllocFree pins the Bluestein execution cost model: with
+// the chirp vectors and pre-scaled kernel spectra baked into the cached plan
+// and the convolution buffer pooled, a warmed plan must run both directions
+// without allocating. A regression here means per-call rebuilds crept back
+// into the chirp-z path.
+func TestBluesteinPlanAllocFree(t *testing.T) {
+	const n = 1125
+	plan := PlanFFT(n)
+	x := randomComplex(rand.New(rand.NewSource(42)), n)
+	plan.Forward(x) // warm the scratch pool
+	if avg := testing.AllocsPerRun(50, func() { plan.Forward(x) }); avg != 0 {
+		t.Errorf("warmed Bluestein Forward allocates %.1f times per run, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() { plan.Inverse(x) }); avg != 0 {
+		t.Errorf("warmed Bluestein Inverse allocates %.1f times per run, want 0", avg)
+	}
+}

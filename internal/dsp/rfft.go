@@ -73,6 +73,19 @@ func (p *RFFTPlan) Size() int { return p.n }
 // full conjugate-symmetric spectrum, so existing consumers of FFT/FFTReal
 // can switch without re-indexing.
 func (p *RFFTPlan) Forward(dst []complex128, x []float64) {
+	zPtr := p.scratchGet()
+	p.forwardWith(dst, x, *zPtr)
+	p.scratchPut(zPtr)
+}
+
+// scratchGet/scratchPut expose the packing-buffer pool to the batched
+// wrapper, which holds one buffer across a whole batch.
+func (p *RFFTPlan) scratchGet() *[]complex128  { return p.scratch.Get().(*[]complex128) }
+func (p *RFFTPlan) scratchPut(z *[]complex128) { p.scratch.Put(z) }
+
+// forwardWith is Forward against a caller-supplied length-n/2 packing
+// buffer.
+func (p *RFFTPlan) forwardWith(dst []complex128, x []float64, z []complex128) {
 	n, half := p.n, p.n/2
 	if len(dst) != n {
 		panic(fmt.Sprintf("dsp: RFFT plan for length %d given dst of length %d", n, len(dst)))
@@ -80,8 +93,6 @@ func (p *RFFTPlan) Forward(dst []complex128, x []float64) {
 	if len(x) > n {
 		panic(fmt.Sprintf("dsp: RFFT plan for length %d given %d samples", n, len(x)))
 	}
-	zPtr := p.scratch.Get().(*[]complex128)
-	z := *zPtr
 	// Pack consecutive sample pairs into one complex signal:
 	// z[m] = x[2m] + i·x[2m+1]. Samples beyond len(x) are zero padding.
 	pairs := len(x) / 2
@@ -111,5 +122,4 @@ func (p *RFFTPlan) Forward(dst []complex128, x []float64) {
 		dst[k] = xk
 		dst[n-k] = cmplx.Conj(xk)
 	}
-	p.scratch.Put(zPtr)
 }

@@ -365,6 +365,33 @@ func (f *FSA) reflectionAmpPort(p Port, m Mode, fHz, sinAngle float64) float64 {
 	return amp
 }
 
+// AbsorptiveFactor returns the linear voltage factor
+// 10^(−AbsorptionReturnLossDB/20) that an absorptive port's reflection
+// retains — the scalar that turns a port's mode-independent reflection
+// amplitude into its absorptive-mode value.
+func (f *FSA) AbsorptiveFactor() float64 { return f.ampAbs }
+
+// PortReflectionEnvelope fills dst[i] with the given port's mode-independent
+// round-trip reflection amplitude (af²·10^(peakGain/10), floored at the
+// backlobe level) at freqHz[i] toward angleDeg: reflectionAmpPort without
+// the mode scalar. The synthesis kernels evaluate the two ports once per
+// capture and combine the envelopes with AbsorptiveFactor per switch state,
+// which reproduces ReflectionAmplitudeWithModes bit-for-bit at half the
+// array-factor evaluations when two states share the grid. dst must have
+// len(freqHz).
+func (f *FSA) PortReflectionEnvelope(p Port, freqHz []float64, angleDeg float64, dst []float64) {
+	sinAngle := math.Sin(rfsim.DegToRad(angleDeg))
+	for i, fHz := range freqHz {
+		beam := f.BeamAngleDeg(p, fHz)
+		psi := math.Pi * (sinAngle - math.Sin(rfsim.DegToRad(beam)))
+		af := f.taperedArrayFactor(psi)
+		if af < f.afFloor {
+			af = f.afFloor
+		}
+		dst[i] = af * af * f.ampPeak
+	}
+}
+
 // PortCouplingDBi returns the gain with which a signal at fHz arriving from
 // angleDeg is delivered *into* the given port when that port is absorptive.
 // A reflective port delivers nothing to its detector (the switch shorts it

@@ -43,6 +43,21 @@ const (
 	// only the aggregate MetricFFTSeconds.
 	MetricFFTRealSeconds = "ap.fft.real_seconds"
 
+	// Sub-stage of the fft stage, recorded by the batched transform layer
+	// (core.Config.DisableBatchFFT off): the batched subtract-transform pass
+	// that runs the whole chirp dimension through one dsp.BatchPlan call.
+	// Mutually exclusive with MetricFFTRealSeconds — a capture takes either
+	// the batched or the per-pair fused path.
+	MetricFFTBatchSeconds = "ap.fft.batch_seconds"
+
+	// MetricCaptureWorkers distributes how many pooled workers actually
+	// joined each intra-capture fan-out (synthesis, subtract-FFT,
+	// power-profile); buckets come from WorkerCountBuckets. A distribution
+	// pinned at 1 on a multicore machine means
+	// core.Config.DisableIntraCaptureParallel is set or stages are too
+	// narrow to fan out.
+	MetricCaptureWorkers = "ap.capture.workers"
+
 	// Cluster plane (milback.Cluster): per-AP roaming and sharding
 	// accounting, registered in each AP's own registry. HandoffsIn counts
 	// nodes this AP received from a neighbour, HandoffsOut nodes it drained
@@ -87,10 +102,27 @@ const (
 	SpanSynthNoise   = "ap.synthesize.noise"
 	SpanFFT          = "ap.fft"
 	SpanFFTReal      = "ap.fft.real"
+	SpanFFTBatch     = "ap.fft.batch"
 	SpanDetect       = "ap.detect"
 	SpanJob          = "proto.job"
 	SpanLease        = "capture.lease"
 )
+
+// SpanBusySuffix marks a companion span that carries a parallel stage's
+// summed per-worker busy time instead of wall time: a stage that fans out
+// emits its usual wall-clock span plus one "<stage>.busy" span whose DurNS
+// is the total time workers spent inside items and whose Arg is the
+// participant count. busy/wall is the stage's effective parallelism, which
+// `milback-report -trace` folds into a per-stage efficiency column.
+const SpanBusySuffix = ".busy"
+
+// WorkerCountBuckets returns the bucket scheme for worker-count
+// distributions (MetricCaptureWorkers): power-of-two upper bounds so the
+// buckets read as "exactly 1", "exactly 2", "3–4", "5–8", … up to 64,
+// matching how worker budgets scale with GOMAXPROCS.
+func WorkerCountBuckets() []float64 {
+	return []float64{2, 3, 5, 9, 17, 33, 65}
+}
 
 // DurationBuckets returns the shared bucket scheme for stage-timing
 // histograms: decade-spaced upper bounds from 1 µs to 10 s (in seconds),

@@ -1,0 +1,126 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachScratchCoversAllItems checks every index runs exactly once for
+// a spread of item counts and worker budgets, including the serial
+// degenerations.
+func TestForEachScratchCoversAllItems(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+			counts := make([]atomic.Int32, n)
+			joined := ForEachScratch(n, workers, func(_, i int) {
+				counts[i].Add(1)
+			})
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: item %d ran %d times", n, workers, i, got)
+				}
+			}
+			if n == 0 && joined != 0 {
+				t.Fatalf("n=0 workers=%d: joined=%d, want 0", workers, joined)
+			}
+			if n > 0 && (joined < 1 || joined > workers && joined > 1) {
+				t.Fatalf("n=%d workers=%d: joined=%d out of range", n, workers, joined)
+			}
+		}
+	}
+}
+
+// TestForEachScratchWorkerIndexIsExclusive pins the scratch contract: a
+// worker index is held by exactly one in-flight fn call, so worker-indexed
+// arenas need no locks. Each call marks its seat busy for its duration; any
+// overlap is a contract violation (and -race would flag real sharing).
+func TestForEachScratchWorkerIndexIsExclusive(t *testing.T) {
+	const n, workers = 500, 8
+	busy := make([]atomic.Int32, workers)
+	joined := ForEachScratch(n, workers, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker index %d outside [0, %d)", worker, workers)
+			return
+		}
+		if busy[worker].Add(1) != 1 {
+			t.Errorf("worker %d entered twice concurrently", worker)
+		}
+		for k := 0; k < 100; k++ {
+			_ = k * k
+		}
+		busy[worker].Add(-1)
+	})
+	if joined < 1 || joined > workers {
+		t.Fatalf("joined=%d, want within [1, %d]", joined, workers)
+	}
+}
+
+// TestForEachScratchDeterministicOutputs checks the determinism contract:
+// per-index outputs are identical across worker counts, because assignment
+// order may vary but the work for index i does not.
+func TestForEachScratchDeterministicOutputs(t *testing.T) {
+	const n = 257
+	ref := make([]float64, n)
+	ForEachScratch(n, 1, func(_, i int) { ref[i] = float64(i*i) * 0.5 })
+	for _, workers := range []int{2, 3, 8} {
+		got := make([]float64, n)
+		ForEachScratch(n, workers, func(_, i int) { got[i] = float64(i*i) * 0.5 })
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestForEachScratchNestedDoesNotDeadlock exercises fn re-entering the pool:
+// inner fan-outs must complete (the caller always participates), even with
+// every helper busy on the outer job.
+func TestForEachScratchNestedDoesNotDeadlock(t *testing.T) {
+	var total atomic.Int64
+	ForEachScratch(8, 4, func(_, i int) {
+		ForEachScratch(16, 4, func(_, j int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested items ran %d times, want %d", got, 8*16)
+	}
+}
+
+// TestForEachScratchConcurrentJobs interleaves many independent fan-outs
+// from separate goroutines over the shared helper pool — the cross-session
+// shape the capture plane produces — and checks isolation between jobs.
+func TestForEachScratchConcurrentJobs(t *testing.T) {
+	const jobs = 16
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			n := 50 + j
+			out := make([]int, n)
+			ForEachScratch(n, 4, func(_, i int) { out[i] = i + j })
+			for i := range out {
+				if out[i] != i+j {
+					t.Errorf("job %d: index %d corrupted", j, i)
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+}
+
+// TestForEachScratchSerialAllocFree pins the degenerate path: a single
+// worker budget must not allocate.
+func TestForEachScratchSerialAllocFree(t *testing.T) {
+	sink := 0
+	fn := func(_, i int) { sink += i }
+	if avg := testing.AllocsPerRun(100, func() {
+		ForEachScratch(64, 1, fn)
+	}); avg != 0 {
+		t.Errorf("serial ForEachScratch allocates %.1f times per run, want 0", avg)
+	}
+}

@@ -85,6 +85,17 @@ type Metrics struct {
 	// path reports only the aggregate FFT).
 	FFTReal Histogram
 
+	// FFTBatch times the batched subtract-transform passes inside the FFT
+	// stage (one observation per dsp.BatchPlan dispatch — background
+	// subtraction and range-Doppler columns). Empty when the batched layer
+	// is disabled; mutually exclusive with FFTReal per capture.
+	FFTBatch Histogram
+
+	// CaptureWorkers distributes how many pooled workers joined each
+	// intra-capture fan-out. Pinned at 1 when intra-capture parallelism is
+	// disabled or the machine has a single core.
+	CaptureWorkers Histogram
+
 	// LeaseTime distributes how long operations held capture buffers
 	// (Acquire to Close). LeasesReclaimed counts the subset of closed leases
 	// that were leaked by their operation and reclaimed at the airtime-grant
@@ -138,6 +149,8 @@ func metricsFromSnapshot(snap obs.Snapshot) Metrics {
 		SynthNoise:           histogramFromSnapshot(snap.Histograms[obs.MetricSynthNoiseSeconds]),
 		FFT:                  histogramFromSnapshot(snap.Histograms[obs.MetricFFTSeconds]),
 		FFTReal:              histogramFromSnapshot(snap.Histograms[obs.MetricFFTRealSeconds]),
+		FFTBatch:             histogramFromSnapshot(snap.Histograms[obs.MetricFFTBatchSeconds]),
+		CaptureWorkers:       histogramFromSnapshot(snap.Histograms[obs.MetricCaptureWorkers]),
 		Detect:               histogramFromSnapshot(snap.Histograms[obs.MetricDetectSeconds]),
 		LeaseTime:            histogramFromSnapshot(snap.Histograms[obs.MetricLeaseSeconds]),
 		LeasesOpened:         snap.Counters[obs.MetricLeasesOpened],

@@ -13,17 +13,21 @@ MAX_ALLOCS="${MAX_ALLOCS:-30}"
 
 BENCHTIME="${1:-20x}"
 
-out="$(go test -run '^$' -bench 'CaptureSteadyState' -benchtime "$BENCHTIME" -benchmem .)"
+# Anchor to exactly the pooled/NoPool pair: the RefSynth/RefFFT and the
+# GOMAXPROCS-pinned Procs2/Procs4 variants share the prefix but measure
+# other things (the pinned runs pay worker-goroutine allocs by design).
+out="$(go test -run '^$' -bench 'CaptureSteadyState(NoPool)?$' -benchtime "$BENCHTIME" -benchmem .)"
 echo "$out"
 
 echo "$out" | awk '
 	/^BenchmarkCaptureSteadyState/ {
 		name = $1
+		sub(/-[0-9]+$/, "", name)
 		allocs = ""
 		for (i = 3; i < NF; i++) if ($(i + 1) == "allocs/op") allocs = $i
 		if (allocs == "") { print "alloc gate: no allocs/op for " name; exit 1 }
-		if (name ~ /NoPool/) ref = allocs
-		else pooled = allocs
+		if (name == "BenchmarkCaptureSteadyStateNoPool") ref = allocs
+		else if (name == "BenchmarkCaptureSteadyState") pooled = allocs
 	}
 	END {
 		if (pooled == "" || ref == "") {

@@ -4,8 +4,11 @@
 # per-call implementation, the serial vs parallel §5.1 capture pipeline,
 # the PR 3 pooled capture plane vs its allocate-everything reference, and
 # the PR 5 synthesis kernels (fast phasor path vs the per-sample-Sincos
-# reference, plus the burst-synthesis microbenchmark pair), and the PR 8
-# mobility pair (moving-scene capture vs static, trajectory advancement).
+# reference, plus the burst-synthesis microbenchmark pair), the PR 8
+# mobility pair (moving-scene capture vs static, trajectory advancement),
+# and the PR 10 GOMAXPROCS-pinned steady-state rows (Procs2/Procs4) whose
+# per-row gomaxprocs field lets bench_compare.sh gate parallel scaling only
+# on machines that actually have the cores.
 # Run from the repository root:
 #
 #	./scripts/bench_baseline.sh [benchtime] [outfile]
@@ -42,7 +45,10 @@ go test -run '^$' \
 		# value internally, so the machine figure would misdescribe them.
 		rowprocs = maxprocs
 		if (name == "BenchmarkCaptureSerial") rowprocs = 1
+		else if (name == "BenchmarkCaptureParallel2") rowprocs = 2
 		else if (name == "BenchmarkCaptureParallel4") rowprocs = 4
+		else if (name == "BenchmarkCaptureSteadyStateProcs2") rowprocs = 2
+		else if (name == "BenchmarkCaptureSteadyStateProcs4") rowprocs = 4
 		line = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"gomaxprocs\": %s", name, $2, ns, rowprocs)
 		if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
 		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
